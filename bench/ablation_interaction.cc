@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: feature-interaction operator (concat vs pairwise dot).
+ *
+ * The paper's heavyweight ranking models spend "over 96% of the time in
+ * the BatchMatMul or FC operators" (§V); the dot-product interaction is
+ * where BatchMatMul comes from. This compares the two interaction modes
+ * on latency and operator mix.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Ablation: concat vs dot feature interaction");
+
+    MachineSpec bdw = broadwell();
+    std::printf("  %-10s %6s | %10s %7s %8s %7s %7s\n", "model", "batch",
+                "latency", "FC", "BatchMM", "SLS", "other");
+    for (const ModelConfig &cfg : {rmc3Small(), rmc3Dot()}) {
+        for (int64_t batch : {1, 16, 128}) {
+            TimerOptions opts;
+            opts.batch = batch;
+            ModelTimer timer(bdw, cfg, opts);
+            int iters = batch >= 128 ? 6 : 15;
+            ModelTiming t = timer.steadyState(iters, iters);
+            double fc = t.fractionByKind(OpKind::FC);
+            double mm = t.fractionByKind(OpKind::BatchMM);
+            double sls = t.fractionByKind(OpKind::SLS);
+            std::printf("  %-10s %6lld | %7.3f ms %6.1f%% %7.1f%% "
+                        "%6.1f%% %6.1f%%\n", cfg.name.c_str(),
+                        static_cast<long long>(batch),
+                        t.totalSeconds() * 1e3, fc * 100, mm * 100,
+                        sls * 100, (1 - fc - mm - sls) * 100);
+        }
+    }
+
+    bench::section("paper-shape check");
+    TimerOptions opts;
+    opts.batch = 16;
+    ModelTimer timer(bdw, rmc3Dot(), opts);
+    ModelTiming t = timer.steadyState(10, 10);
+    double share = t.fractionByKind(OpKind::FC) +
+        t.fractionByKind(OpKind::BatchMM);
+    std::printf("  RMC3-dot FC+BatchMM share: %.1f%%  (paper: > 96%%)\n",
+                share * 100.0);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: next-line hardware prefetching for embedding gathers.
+ *
+ * §VII points at "intelligent pre-fetching/caching techniques" as a
+ * memory-system opportunity. Embedding rows wider than one cache line
+ * (dim 32 at fp32 = 128 B = 2 lines) make even a trivial next-line
+ * prefetcher effective: the second line of every gathered row stops
+ * missing. Narrow (int8) rows fit one line, so the prefetcher only
+ * pollutes.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+namespace {
+
+double
+slsMs(bool prefetch, EmbPrecision precision)
+{
+    MachineSpec bdw = broadwell();
+    bdw.prefetch.nextLine = prefetch;
+    ModelConfig cfg = rmc2Small();
+    cfg.emb.precision = precision;
+    TimerOptions opts;
+    opts.batch = 16;
+    ModelTimer timer(bdw, cfg, opts);
+    return timer.steadyState(12, 12).secondsByKind(OpKind::SLS) * 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: next-line prefetching (RMC2 SLS, batch 16, "
+                  "Broadwell)");
+
+    std::printf("  %-24s %14s %14s %10s\n", "embedding rows",
+                "prefetch off", "prefetch on", "speedup");
+    for (EmbPrecision precision :
+         {EmbPrecision::Fp32, EmbPrecision::Int8}) {
+        EmbeddingConfig emb = rmc2Small().emb;
+        emb.precision = precision;
+        int64_t lines = (emb.rowBytes() + 63) / 64;
+        double off = slsMs(false, precision);
+        double on = slsMs(true, precision);
+        std::string label = strprintf(
+            "%s (%lld B, %lld line%s)", embPrecisionName(precision),
+            static_cast<long long>(emb.rowBytes()),
+            static_cast<long long>(lines), lines > 1 ? "s" : "");
+        std::printf("  %-24s %11.3f ms %11.3f ms %9.2fx\n", label.c_str(),
+                    off, on, off / on);
+    }
+
+    bench::section("takeaway");
+    std::printf("  next-line prefetching recovers the second line of "
+                "wide fp32 rows almost\n  for free; once rows are "
+                "quantized to a single line the prefetcher has\n  "
+                "nothing left to fetch — the two optimizations do not "
+                "compose.\n");
+    return 0;
+}

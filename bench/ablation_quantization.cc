@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: embedding-table precision (fp32 / fp16 / int8).
+ *
+ * Quantifies the compression lever of §VIII on the memory-intensive
+ * RMC2: storage capacity, SparseLengthsSum latency (fewer cache lines
+ * per gather), and the numeric error introduced by row-wise int8.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.hh"
+#include "core/rng.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "ops/quantized_embedding.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Ablation: embedding precision (RMC2, Broadwell)");
+
+    MachineSpec bdw = broadwell();
+    std::printf("  %-6s %12s %14s %14s\n", "prec", "storage", "SLS b=16",
+                "total b=16");
+    for (EmbPrecision precision :
+         {EmbPrecision::Fp32, EmbPrecision::Fp16, EmbPrecision::Int8}) {
+        ModelConfig cfg = rmc2Small();
+        cfg.emb.precision = precision;
+        TimerOptions opts;
+        opts.batch = 16;
+        ModelTimer timer(bdw, cfg, opts);
+        ModelTiming t = timer.steadyState(15, 15);
+        std::printf("  %-6s %9.2f GB %11.3f ms %11.3f ms\n",
+                    embPrecisionName(precision),
+                    cfg.embStorageBytes() / 1e9,
+                    t.secondsByKind(OpKind::SLS) * 1e3,
+                    t.totalSeconds() * 1e3);
+    }
+
+    bench::section("numeric fidelity of row-wise int8");
+    Rng rng(17);
+    EmbeddingTable table(50'000, 32, rng);
+    QuantizedEmbeddingTable q(table);
+    std::vector<int64_t> ids, lengths;
+    for (int b = 0; b < 64; ++b) {
+        lengths.push_back(80);
+        for (int j = 0; j < 80; ++j)
+            ids.push_back(rng.nextInt(0, 49'999));
+    }
+    Tensor exact = table.forward(ids, lengths);
+    Tensor approx = q.forward(ids, lengths);
+    double max_err = 0.0, max_mag = 0.0;
+    for (int64_t i = 0; i < exact.size(); ++i) {
+        max_err = std::max(max_err, static_cast<double>(
+            std::fabs(exact.at(i) - approx.at(i))));
+        max_mag = std::max(max_mag, static_cast<double>(
+            std::fabs(exact.at(i))));
+    }
+    std::printf("  pooled-output max abs error: %.5f (%.3f%% of max "
+                "magnitude)\n", max_err, 100.0 * max_err / max_mag);
+    std::printf("  storage saving vs fp32:      %.2fx\n",
+                static_cast<double>(table.storageBytes()) /
+                    static_cast<double>(q.storageBytes()));
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: DRAM/NVM tiered embedding storage (Eisenman et al. [25]).
+ *
+ * RMC2's ~10 GB of tables strain DRAM capacity; NVM is dense but slow.
+ * This sweeps the DRAM row-cache size in front of NVM-resident tables
+ * and reports SLS latency, NVM read traffic, and DRAM footprint —
+ * showing the design point where tiering approaches all-DRAM speed at a
+ * fraction of the DRAM cost.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+#include "timing/tiered_memory.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Ablation: NVM-backed embeddings with a DRAM row "
+                  "cache (RMC2, batch 8)");
+
+    MachineSpec bdw = broadwell();
+    ModelConfig cfg = rmc2Small();
+    TimerOptions opts;
+    opts.batch = 8;
+
+    // All-DRAM reference from the standard timing model.
+    ModelTimer dram_timer(bdw, cfg, opts);
+    double all_dram_sls =
+        dram_timer.steadyState(12, 12).secondsByKind(OpKind::SLS);
+    std::printf("  all-DRAM reference SLS: %.3f ms (tables use %.1f GB "
+                "of DRAM)\n\n", all_dram_sls * 1e3,
+                cfg.embStorageBytes() / 1e9);
+
+    std::printf("  %-12s %10s %12s %12s %14s\n", "DRAM cache", "hit rate",
+                "NVM reads", "SLS (ms)", "DRAM needed");
+    for (size_t cache_rows :
+         {size_t{0}, size_t{100'000}, size_t{1'000'000},
+          size_t{10'000'000}}) {
+        TieredSlsModel tiered(bdw, cfg, NvmConfig{}, cache_rows,
+                              CachePolicy::Lru, opts);
+        TieredSlsResult r = tiered.run(12, 12);
+        std::printf("  %10zu %9.1f%% %12llu %9.3f ms %11.2f GB\n",
+                    cache_rows, r.dramCacheHitRate * 100.0,
+                    static_cast<unsigned long long>(
+                        r.nvmReadsPerInference),
+                    r.slsSecondsPerInference * 1e3,
+                    r.dramCacheBytes / 1e9);
+    }
+
+    bench::section("takeaway");
+    std::printf("  a DRAM cache holding a few %% of rows absorbs most "
+                "gathers (Fig 14\n  locality), bringing NVM-resident "
+                "tables within ~2x of all-DRAM SLS at\n  ~100x less DRAM "
+                "— the capacity escape hatch for RMC2-class models.\n");
+    return 0;
+}

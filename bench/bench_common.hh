@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benchmarks.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper:
+ * it runs the corresponding experiment on the simulated fleet and
+ * prints the same rows/series the paper reports, so results can be
+ * compared shape-for-shape against the original.
+ */
+
+#ifndef RECPERF_BENCH_BENCH_COMMON_HH
+#define RECPERF_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace recperf {
+namespace bench {
+
+/** Print a centered banner naming the figure being regenerated. */
+inline void
+banner(const std::string &title)
+{
+    std::string rule(72, '=');
+    std::printf("%s\n%s\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
+}
+
+/** Print a section separator. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+/** Render a fixed-width ASCII bar scaled to @p frac of @p width. */
+inline std::string
+bar(double frac, int width = 40)
+{
+    if (frac < 0.0)
+        frac = 0.0;
+    if (frac > 1.0)
+        frac = 1.0;
+    int n = static_cast<int>(frac * width + 0.5);
+    return std::string(static_cast<size_t>(n), '#');
+}
+
+} // namespace bench
+} // namespace recperf
+
+#endif // RECPERF_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Figure 1: the share of data-center AI inference cycles
+ * consumed by each recommendation model class.
+ *
+ * Paper anchors: RMC1+RMC2+RMC3 consume 65% of AI inference cycles;
+ * recommendation models in total consume over 79%.
+ */
+
+#include "bench/bench_common.hh"
+#include "fleet/fleet_mix.hh"
+#include "machine/machine_spec.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 1: AI inference cycles by model class");
+
+    FleetMix mix = FleetMix::productionDefault(broadwell());
+
+    bench::section("cycle share per workload");
+    for (const auto &[name, share] : mix.modelShares()) {
+        std::printf("  %-14s %5.1f%%  |%s\n", name.c_str(), share * 100.0,
+                    bench::bar(share).c_str());
+    }
+
+    bench::section("aggregates (paper: RMC1-3 = 65%, all rec >= 79%)");
+    std::printf("  RMC1+RMC2+RMC3 share: %5.1f%%\n", mix.rmcShare() * 100.0);
+    std::printf("  all recommendation:   %5.1f%%\n",
+                mix.recommendationShare() * 100.0);
+    std::printf("  non-recommendation:   %5.1f%%\n",
+                (1.0 - mix.recommendationShare()) * 100.0);
+    return 0;
+}

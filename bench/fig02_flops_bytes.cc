@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regenerates Figure 2: per-inference FLOPs vs. bytes read for the
+ * production recommendation models against open-source CNNs/RNNs and
+ * MLPerf-NCF.
+ *
+ * Shape to reproduce: the RMCs occupy a distinct region — orders of
+ * magnitude more bytes read than NCF once lookups are batched (the
+ * embedding gathers scale with batch while NCF's small FC weights
+ * amortize), but far fewer FLOPs than the large CNNs.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "model/proxy.hh"
+#include "model/zoo.hh"
+
+using namespace recperf;
+
+namespace {
+
+struct Point
+{
+    std::string name;
+    double mflops;
+    double mbytes;
+};
+
+std::vector<Point>
+collect(int64_t batch)
+{
+    std::vector<Point> points;
+    for (const ModelConfig &cfg : allZooModels()) {
+        OpCost c = cfg.inferenceCost(batch);
+        points.push_back({cfg.name, c.flops / 1e6, c.bytesRead / 1e6});
+    }
+    {
+        OpCost c = ncfConfig().inferenceCost(batch);
+        points.push_back({"MLPerf-NCF", c.flops / 1e6, c.bytesRead / 1e6});
+    }
+    for (const ProxyModel &p : proxyModels()) {
+        OpCost c = p.cost(batch);
+        points.push_back({p.name, c.flops / 1e6, c.bytesRead / 1e6});
+    }
+    return points;
+}
+
+const Point &
+find(const std::vector<Point> &points, const std::string &name)
+{
+    for (const Point &p : points) {
+        if (p.name == name)
+            return p;
+    }
+    std::fprintf(stderr, "missing point %s\n", name.c_str());
+    std::abort();
+}
+
+void
+printPoints(const std::vector<Point> &points)
+{
+    for (const Point &p : points) {
+        std::printf("  %-14s %12.3f MFLOPs %12.3f MB read  "
+                    "(intensity %6.2f)\n", p.name.c_str(), p.mflops,
+                    p.mbytes, p.mflops / p.mbytes);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 2: compute (FLOPs) vs. memory (bytes read)");
+
+    bench::section("batch 1 (per-sample view)");
+    printPoints(collect(1));
+
+    bench::section("batch 64 (served view: gathers scale, weights "
+                   "amortize)");
+    std::vector<Point> served = collect(64);
+    printPoints(served);
+
+    bench::section("paper-shape checks (batch 64)");
+    const Point &rmc1 = find(served, "RMC1-small");
+    const Point &rmc2 = find(served, "RMC2-small");
+    const Point &rmc3 = find(served, "RMC3-small");
+    const Point &ncf = find(served, "MLPerf-NCF");
+    const Point &vgg = find(served, "VGG16");
+    std::printf("  RMC2 bytes vs NCF bytes:   %8.1fx (orders of "
+                "magnitude)\n", rmc2.mbytes / ncf.mbytes);
+    std::printf("  VGG16 flops vs RMC1 flops: %8.1fx (CNNs are "
+                "compute-heavy)\n", vgg.mflops / rmc1.mflops);
+    std::printf("  RMC3 flops vs RMC1 flops:  %8.1fx (diversity within "
+                "recommendation)\n", rmc3.mflops / rmc1.mflops);
+    std::printf("  RMC2 bytes vs RMC1 bytes:  %8.1fx\n",
+                rmc2.mbytes / rmc1.mbytes);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Figure 4: data-center-wide cycles by operator, split
+ * into recommendation and non-recommendation models.
+ *
+ * Paper anchors: FC, SLS and Concat together comprise over 45% of all
+ * cycles; SLS alone is several times the Conv and Recurrent shares.
+ */
+
+#include "bench/bench_common.hh"
+#include "fleet/fleet_mix.hh"
+#include "machine/machine_spec.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 4: fleet-wide cycles by operator");
+
+    FleetMix mix = FleetMix::productionDefault(broadwell());
+    FleetMix::OperatorShares shares = mix.operatorShares();
+
+    bench::section("recommendation models");
+    for (const auto &[kind, share] : shares.recommendation) {
+        std::printf("  %-11s %5.1f%%  |%s\n", opKindName(kind),
+                    share * 100.0, bench::bar(share).c_str());
+    }
+    bench::section("non-recommendation models");
+    for (const auto &[kind, share] : shares.nonRecommendation) {
+        std::printf("  %-11s %5.1f%%  |%s\n", opKindName(kind),
+                    share * 100.0, bench::bar(share).c_str());
+    }
+
+    bench::section("paper-shape checks");
+    double fc = shares.recommendation[OpKind::FC];
+    double sls = shares.recommendation[OpKind::SLS];
+    double concat = shares.recommendation[OpKind::Concat];
+    double conv = shares.nonRecommendation[OpKind::Conv];
+    double rnn = shares.nonRecommendation[OpKind::Recurrent];
+    std::printf("  FC+SLS+Concat (rec):  %5.1f%%  (paper: > 45%%)\n",
+                (fc + sls + concat) * 100.0);
+    std::printf("  SLS vs Conv:          %5.1fx  (paper: ~4x)\n",
+                sls / conv);
+    std::printf("  SLS vs Recurrent:     %5.1fx  (paper: ~20x)\n",
+                sls / rnn);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Figure 7: unit-batch inference latency of RMC1/RMC2/RMC3
+ * on Broadwell (left) and the per-operator time breakdown (right).
+ *
+ * Paper anchors: 0.04 ms / 0.30 ms / 0.60 ms; BatchMatMul+FC >= 96% of
+ * RMC3, SLS ~80% of RMC2, FC ~61% and SLS ~20% of RMC1.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 7: batch-1 latency and operator breakdown "
+                  "(Broadwell)");
+
+    MachineSpec bdw = broadwell();
+    std::printf("  %-12s %10s   %6s %6s %7s %6s\n", "model",
+                "latency", "FC", "SLS", "Concat", "Rest");
+    for (const ModelConfig &cfg : representativeModels()) {
+        TimerOptions opts;
+        opts.batch = 1;
+        ModelTimer timer(bdw, cfg, opts);
+        ModelTiming t = timer.steadyState(50, 50);
+        double fc = t.fractionByKind(OpKind::FC);
+        double sls = t.fractionByKind(OpKind::SLS);
+        double concat = t.fractionByKind(OpKind::Concat);
+        std::printf("  %-12s %8.3f ms   %5.1f%% %5.1f%% %6.1f%% %5.1f%%\n",
+                    cfg.name.c_str(), t.totalSeconds() * 1e3, fc * 100,
+                    sls * 100, concat * 100,
+                    (1.0 - fc - sls - concat) * 100);
+    }
+
+    bench::section("small vs large variants (paper: ~2x within a class)");
+    for (const auto &[small, large] :
+         {std::pair{rmc1Small(), rmc1Large()},
+          std::pair{rmc2Small(), rmc2Large()},
+          std::pair{rmc3Small(), rmc3Large()}}) {
+        TimerOptions opts;
+        opts.batch = 1;
+        ModelTimer ts(bdw, small, opts), tl(bdw, large, opts);
+        double s = ts.steadyState(30, 30).totalSeconds();
+        double l = tl.steadyState(30, 30).totalSeconds();
+        std::printf("  %-6s small %8.3f ms   large %8.3f ms   (%.2fx)\n",
+                    modelClassName(small.modelClass), s * 1e3, l * 1e3,
+                    l / s);
+    }
+    return 0;
+}

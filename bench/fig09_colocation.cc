@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Figure 9: per-model latency degradation when co-locating
+ * N inferences on a Broadwell socket (batch 32), broken down into FC,
+ * SparseLengthsSum and the rest.
+ *
+ * Paper anchors at N=8: latency degrades 1.3x / 2.6x / 1.6x for
+ * RMC1/RMC2/RMC3; RMC2's FC and SLS degrade 1.6x and 3x.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/colocation.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 9: co-location latency degradation "
+                  "(Broadwell, batch 32)");
+
+    MachineSpec bdw = broadwell();
+    for (const ModelConfig &cfg : representativeModels()) {
+        bench::section(cfg.name);
+        double base_total = 0, base_fc = 0, base_sls = 0;
+        std::printf("  %3s %12s %8s | normalized: %6s %6s %6s %6s\n", "N",
+                    "latency", "", "total", "FC", "SLS", "Rest");
+        for (uint32_t n : {1u, 2u, 4u, 8u}) {
+            TimerOptions opts;
+            opts.batch = 32;
+            ColocationSim sim(bdw, cfg, opts, n);
+            ColocationResult r = sim.run(12, 8);
+            ModelTiming avg = r.averageTiming();
+            double total = avg.totalSeconds();
+            double fc = avg.secondsByKind(OpKind::FC);
+            double sls = avg.secondsByKind(OpKind::SLS);
+            double rest = total - fc - sls;
+            if (n == 1) {
+                base_total = total;
+                base_fc = fc;
+                base_sls = sls;
+            }
+            std::printf("  %3u %9.3f ms %8s | %11.2fx %5.2fx %5.2fx "
+                        "(rest %4.1f%%)\n",
+                        n, total * 1e3, "",
+                        total / base_total, fc / base_fc, sls / base_sls,
+                        rest / total * 100);
+        }
+    }
+    return 0;
+}

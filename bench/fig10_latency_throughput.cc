@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Figure 10: the latency/throughput trade-off of
+ * co-locating RMC2 inferences (batch 32) across server generations.
+ *
+ * Shape to reproduce: starting from no co-location, latency degrades
+ * quickly then plateaus; Broadwell is best under low co-location
+ * (latency-optimal), Skylake under high co-location (throughput-
+ * optimal, exclusive LLC).
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/colocation.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 10: latency vs throughput under co-location "
+                  "(RMC2, batch 32)");
+
+    ModelConfig cfg = rmc2Small();
+    for (const MachineSpec &machine : fleetMachines()) {
+        bench::section(machine.name);
+        std::printf("  %3s %12s %16s %8s\n", "N", "latency",
+                    "throughput", "HT");
+        for (uint32_t n : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
+            TimerOptions opts;
+            opts.batch = 32;
+            ColocationSim sim(machine, cfg, opts, n);
+            int iters = n >= 12 ? 4 : 8;
+            ColocationResult r = sim.run(8, iters);
+            std::printf("  %3u %9.3f ms %11.0f inf/s %8s\n", n,
+                        r.meanLatency() * 1e3, r.throughput(),
+                        sim.hyperthreading() ? "yes" : "no");
+        }
+    }
+
+    bench::section("latency-optimal vs throughput-optimal platform");
+    double best_lat = 1e18, best_thr = 0.0;
+    std::string lat_machine, thr_machine;
+    for (const MachineSpec &machine : fleetMachines()) {
+        TimerOptions opts;
+        opts.batch = 32;
+        ColocationSim low(machine, cfg, opts, 2);
+        ColocationResult rl = low.run(8, 6);
+        if (rl.meanLatency() < best_lat) {
+            best_lat = rl.meanLatency();
+            lat_machine = machine.name;
+        }
+        ColocationSim high(machine, cfg, opts, 16);
+        ColocationResult rh = high.run(8, 4);
+        if (rh.throughput() > best_thr) {
+            best_thr = rh.throughput();
+            thr_machine = machine.name;
+        }
+    }
+    std::printf("  low co-location (N=2):  %s is latency-optimal "
+                "(%.3f ms)\n", lat_machine.c_str(), best_lat * 1e3);
+    std::printf("  high co-location (N=16): %s is throughput-optimal "
+                "(%.0f inf/s)\n", thr_machine.c_str(), best_thr);
+    return 0;
+}

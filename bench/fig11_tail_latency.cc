@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Regenerates Figure 11: the latency distribution of a standalone FC
+ * operator co-located with RMC1 inferences in a production-like
+ * environment.
+ *
+ * Shapes to reproduce:
+ *  (a) on Broadwell the FC latency distribution is multimodal — one
+ *      mode per co-location regime — while Skylake shows a single mode;
+ *  (b) mean latency rises with co-location and the p5..p99 band blows
+ *      up on Broadwell at high co-location, but grows gradually on
+ *      Skylake (exclusive LLC; larger L2 holds the FC's weights);
+ *  (c) the same holds for a larger FC that no longer fits Skylake's L2.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/colocation.hh"
+
+using namespace recperf;
+
+namespace {
+
+/** FC-probe model: one FC layer of the given width, no embeddings. */
+ModelConfig
+fcProbe(int64_t width)
+{
+    ModelConfig m;
+    m.name = strprintf("fc-%lldx%lld", static_cast<long long>(width),
+                       static_cast<long long>(width));
+    m.modelClass = ModelClass::Other;
+    m.denseFeatures = width;
+    m.bottomMlp = {width};
+    m.topMlp = {64, 1};
+    m.validate();
+    return m;
+}
+
+/** FC time samples of the probe under N co-located RMC1 instances. */
+std::vector<double>
+probeSamples(const MachineSpec &machine, int64_t width, uint32_t colocated,
+             int iters)
+{
+    std::vector<TenantSpec> tenants;
+    TimerOptions probe_opts;
+    probe_opts.batch = 1;
+    tenants.push_back({fcProbe(width), probe_opts});
+    for (uint32_t i = 0; i < colocated; ++i) {
+        TimerOptions opts;
+        opts.batch = 32;
+        opts.seed = 1000 + i;
+        tenants.push_back({rmc1Large(), opts});
+    }
+    ColocationSim sim(machine, tenants);
+    ColocationResult r = sim.run(8, iters);
+
+    // Apply production-environment jitter (scheduler noise) and keep
+    // only the probe tenant's samples (tenant 0, stride = #tenants).
+    Rng jitter(42 + colocated);
+    std::vector<double> samples;
+    for (size_t i = 0; i < r.fcSamples.size(); i += tenants.size()) {
+        double noise = std::exp(jitter.nextGaussian() * 0.03);
+        samples.push_back(r.fcSamples[i] * noise * 1e6);
+    }
+    return samples;
+}
+
+void
+distributionPanel(int64_t width)
+{
+    for (const MachineSpec &machine : {broadwell(), skylake()}) {
+        std::printf("  %s, FC %lldx%lld (weights %.0f KB)\n",
+                    machine.name.c_str(), static_cast<long long>(width),
+                    static_cast<long long>(width),
+                    static_cast<double>(width * width) * 4.0 / 1024.0);
+        std::printf("  %4s %10s %10s %10s %10s\n", "N", "p5(us)",
+                    "mean(us)", "p99(us)", "p99/p5");
+        for (uint32_t n : {0u, 6u, 12u, 18u}) {
+            std::vector<double> s = probeSamples(machine, width, n, 24);
+            double p5 = percentile(s, 5);
+            double mean = 0;
+            for (double x : s)
+                mean += x;
+            mean /= static_cast<double>(s.size());
+            double p99 = percentile(s, 99);
+            std::printf("  %4u %10.2f %10.2f %10.2f %9.2fx\n", n, p5,
+                        mean, p99, p99 / p5);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11: FC operator tail latency under "
+                  "co-location");
+
+    // (a) Latency histogram on Broadwell: mixture over co-location
+    // regimes (low / medium / high), as in the production environment.
+    bench::section("(a) Broadwell FC latency distribution across "
+                   "co-location regimes");
+    {
+        std::vector<double> all;
+        for (uint32_t n : {0u, 10u, 18u}) {
+            auto s = probeSamples(broadwell(), 448, n, 24);
+            all.insert(all.end(), s.begin(), s.end());
+        }
+        double lo = percentile(all, 0.5) * 0.9;
+        double hi = percentile(all, 99.5) * 1.1;
+        Histogram hist(lo, hi, 24);
+        for (double x : all)
+            hist.add(x);
+        std::printf("%s", hist.render(46).c_str());
+
+        std::vector<double> skl_all;
+        for (uint32_t n : {0u, 10u, 18u}) {
+            auto s = probeSamples(skylake(), 448, n, 24);
+            skl_all.insert(skl_all.end(), s.begin(), s.end());
+        }
+        std::printf("\n  Skylake same mixture (single mode expected):\n");
+        Histogram skl_hist(percentile(skl_all, 0.5) * 0.9,
+                           percentile(skl_all, 99.5) * 1.1, 24);
+        for (double x : skl_all)
+            skl_hist.add(x);
+        std::printf("%s", skl_hist.render(46).c_str());
+    }
+
+    // (b) FC that fits SKL L2 (and only BDW LLC): 448x448 = 800 KB.
+    bench::section("(b) FC fits Skylake L2 / Broadwell LLC");
+    distributionPanel(448);
+
+    // (c) Larger FC that fits neither L2: 1024x1024 = 4 MB (LLC on
+    // both machines).
+    bench::section("(c) larger FC (fits only the LLCs)");
+    distributionPanel(1024);
+
+    return 0;
+}

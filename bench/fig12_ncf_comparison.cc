@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 12: production recommendation models vs.
+ * MLPerf-NCF, normalized to NCF.
+ *
+ * Paper anchors: the RMCs have orders-of-magnitude longer latency,
+ * larger embedding tables, and more FC parameters; FC is >90% of NCF's
+ * runtime while SLS dominates RMC1 (batched) and RMC2.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Figure 12: production models vs MLPerf-NCF "
+                  "(normalized to NCF)");
+
+    MachineSpec bdw = broadwell();
+    ModelConfig ncf = ncfConfig();
+
+    TimerOptions opts;
+    opts.batch = 16;
+    ModelTimer ncf_timer(bdw, ncf, opts);
+    ModelTiming ncf_t = ncf_timer.steadyState(30, 30);
+    double ncf_lat = ncf_t.totalSeconds();
+
+    std::printf("  %-12s %10s %12s %12s %10s %8s\n", "model", "latency",
+                "emb storage", "FC params", "lookups", "SLS time");
+    std::printf("  %-12s %9.1fx %11.1fx %11.1fx %9.1fx %7.0f%%\n",
+                "MLPerf-NCF", 1.0, 1.0, 1.0, 1.0,
+                ncf_t.fractionByKind(OpKind::SLS) * 100);
+    for (const ModelConfig &cfg : representativeModels()) {
+        ModelTimer timer(bdw, cfg, opts);
+        ModelTiming t = timer.steadyState(20, 20);
+        std::printf("  %-12s %9.1fx %11.1fx %11.1fx %9.1fx %7.0f%%\n",
+                    cfg.name.c_str(), t.totalSeconds() / ncf_lat,
+                    static_cast<double>(cfg.embStorageBytes()) /
+                        static_cast<double>(ncf.embStorageBytes()),
+                    static_cast<double>(cfg.fcParamCount()) /
+                        static_cast<double>(ncf.fcParamCount()),
+                    static_cast<double>(cfg.lookupsPerSample()) /
+                        static_cast<double>(ncf.lookupsPerSample()),
+                    t.fractionByKind(OpKind::SLS) * 100);
+    }
+
+    bench::section("operator-mix contrast (Section VII)");
+    std::printf("  NCF FC share:            %5.1f%%  (paper: > 90%%)\n",
+                ncf_t.fractionByKind(OpKind::FC) * 100);
+    TimerOptions b32 = opts;
+    b32.batch = 32;
+    ModelTimer rmc1_timer(bdw, rmc1Small(), b32);
+    std::printf("  RMC1 (batched) SLS share: %4.1f%%  (paper: ~80%%)\n",
+                rmc1_timer.steadyState(20, 20)
+                    .fractionByKind(OpKind::SLS) * 100);
+    return 0;
+}

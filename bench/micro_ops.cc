@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the functional operator kernels
+ * (host-machine wall-clock, not the simulated fleet): blocked GEMM,
+ * SparseLengthsSum, Concat, and activations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hh"
+#include "ops/batch_matmul.hh"
+#include "ops/elementwise.hh"
+#include "ops/fully_connected.hh"
+#include "ops/sparse_lengths_sum.hh"
+
+using namespace recperf;
+
+namespace {
+
+void
+BM_FullyConnected(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    int64_t width = state.range(1);
+    Rng rng(1);
+    FullyConnected fc(width, width, rng);
+    Tensor x({batch, width});
+    x.fillUniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor y = fc.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * static_cast<double>(batch) * width * width *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_FullyConnected)
+    ->Args({1, 256})
+    ->Args({16, 256})
+    ->Args({128, 256})
+    ->Args({16, 1024});
+
+void
+BM_SparseLengthsSum(benchmark::State &state)
+{
+    int64_t lookups = state.range(0);
+    int64_t batch = state.range(1);
+    Rng rng(2);
+    EmbeddingTable table(100'000, 32, rng);
+    std::vector<int64_t> ids, lengths;
+    for (int64_t b = 0; b < batch; ++b) {
+        lengths.push_back(lookups);
+        for (int64_t j = 0; j < lookups; ++j)
+            ids.push_back(rng.nextInt(0, 99'999));
+    }
+    for (auto _ : state) {
+        Tensor out = table.forward(ids, lengths);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["rows/s"] = benchmark::Counter(
+        static_cast<double>(ids.size()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SparseLengthsSum)->Args({80, 1})->Args({80, 16})->Args({20, 16});
+
+void
+BM_Concat(benchmark::State &state)
+{
+    int64_t batch = state.range(0);
+    Rng rng(3);
+    std::vector<Tensor> parts;
+    std::vector<const Tensor *> ptrs;
+    for (int i = 0; i < 20; ++i) {
+        parts.emplace_back(Shape{batch, 32});
+        parts.back().fillUniform(rng, -1.0f, 1.0f);
+    }
+    for (const Tensor &t : parts)
+        ptrs.push_back(&t);
+    for (auto _ : state) {
+        Tensor out = concatCols(ptrs);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_Concat)->Arg(1)->Arg(32)->Arg(256);
+
+void
+BM_Sigmoid(benchmark::State &state)
+{
+    Rng rng(4);
+    Tensor x({state.range(0)});
+    x.fillUniform(rng, -4.0f, 4.0f);
+    for (auto _ : state) {
+        Tensor y = sigmoid(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Sigmoid)->Arg(1024)->Arg(65536);
+
+void
+BM_DotInteraction(benchmark::State &state)
+{
+    Rng rng(5);
+    Tensor z({32, state.range(0), 32});
+    z.fillUniform(rng, -1.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor out = dotInteraction(z);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DotInteraction)->Arg(8)->Arg(33);
+
+} // namespace
+
+BENCHMARK_MAIN();

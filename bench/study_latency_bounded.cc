@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Study: latency-bounded throughput (Section III's headline metric).
+ *
+ * The paper argues that benchmarking inference by latency alone is
+ * insufficient: the data-center metric is how many items can be ranked
+ * per second while meeting the SLA. For each machine and SLA this
+ * sweeps the batch size and reports the best operating point — showing
+ * both that the optimal batch grows with the SLA and that the optimal
+ * *platform* flips from Broadwell (tight SLA) to Skylake (loose SLA).
+ */
+
+#include <cstdint>
+
+#include "bench/bench_common.hh"
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+namespace {
+
+struct OperatingPoint
+{
+    int64_t batch = 0;
+    double latency = 0.0;
+    double itemsPerSec = 0.0;
+};
+
+OperatingPoint
+bestPoint(const MachineSpec &machine, const ModelConfig &cfg, double sla)
+{
+    OperatingPoint best;
+    for (int64_t batch : {1, 4, 16, 64, 128, 256}) {
+        TimerOptions opts;
+        opts.batch = batch;
+        ModelTimer timer(machine, cfg, opts);
+        int iters = batch >= 64 ? 6 : 15;
+        double lat = timer.steadyState(iters, iters).totalSeconds();
+        if (lat > sla)
+            continue;
+        double rate = static_cast<double>(batch) / lat;
+        if (rate > best.itemsPerSec)
+            best = {batch, lat, rate};
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Study: latency-bounded throughput (single core)");
+
+    for (const ModelConfig &cfg : {rmc1Small(), rmc2Small()}) {
+        bench::section(cfg.name);
+        std::printf("  %8s | %-28s %-28s %-28s\n", "SLA", "Haswell",
+                    "Broadwell", "Skylake");
+        for (double sla : {0.0001, 0.001, 0.010, 0.100}) {
+            std::printf("  %6.1f ms |", sla * 1e3);
+            OperatingPoint points[3];
+            size_t best_machine = 3;
+            auto machines = fleetMachines();
+            for (size_t m = 0; m < machines.size(); ++m) {
+                points[m] = bestPoint(machines[m], cfg, sla);
+                if (points[m].batch &&
+                    (best_machine == 3 ||
+                     points[m].itemsPerSec >
+                         points[best_machine].itemsPerSec)) {
+                    best_machine = m;
+                }
+            }
+            for (size_t m = 0; m < machines.size(); ++m) {
+                if (points[m].batch == 0) {
+                    std::printf(" %-28s", "SLA infeasible");
+                } else {
+                    std::string cell = strprintf(
+                        "b=%-3lld %7.0f items/s%s",
+                        static_cast<long long>(points[m].batch),
+                        points[m].itemsPerSec,
+                        m == best_machine ? " *" : "");
+                    std::printf(" %-28s", cell.c_str());
+                }
+            }
+            std::printf("\n");
+        }
+    }
+
+    bench::section("takeaways");
+    std::printf("  - the viable batch (and hence throughput) grows with "
+                "the SLA: latency-only\n    rankings hide this entirely "
+                "(Section III);\n");
+    std::printf("  - under tight SLAs the high-frequency Broadwell wins; "
+                "once the SLA allows\n    batch >= 64, wide-SIMD Skylake "
+                "takes over (Takeaways 3-4).\n");
+    return 0;
+}

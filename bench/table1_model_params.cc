@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Table I: normalized architecture parameters of the three
+ * production recommendation model classes.
+ *
+ * As in the paper, Bottom/Top FC sizes are normalized to RMC1's layer 3,
+ * embedding number/input/output dims to RMC1, lookups to RMC3.
+ */
+
+#include "bench/bench_common.hh"
+#include "model/zoo.hh"
+
+using namespace recperf;
+
+namespace {
+
+void
+printRow(const ModelConfig &small, const ModelConfig &large)
+{
+    ModelConfig base1 = rmc1Small();
+    double fc_base = static_cast<double>(base1.bottomMlp.back());
+    double lookup_base = static_cast<double>(rmc3Small().emb.lookupsPerTable);
+
+    std::printf("  %-6s bottom-FC:", modelClassName(small.modelClass));
+    for (int64_t w : small.bottomMlp)
+        std::printf(" %4.0fx", w / fc_base);
+    std::printf("   top-FC:");
+    for (int64_t w : small.topMlp)
+        std::printf(" %5.2fx", w / fc_base);
+    std::printf("\n         tables: %lld-%lld   rows: %.0fx-%.0fx   "
+                "emb-dim: %lldx   lookups: %.0fx\n",
+                static_cast<long long>(small.emb.numTables),
+                static_cast<long long>(large.emb.numTables),
+                static_cast<double>(small.emb.rowsPerTable) /
+                    static_cast<double>(base1.emb.rowsPerTable),
+                static_cast<double>(large.emb.rowsPerTable) /
+                    static_cast<double>(base1.emb.rowsPerTable),
+                static_cast<long long>(small.emb.embDim /
+                                       base1.emb.embDim),
+                static_cast<double>(small.emb.lookupsPerTable) /
+                    lookup_base);
+    std::printf("         emb storage: %.2f-%.2f GB   FC params: "
+                "%.2f-%.2f M\n",
+                small.embStorageBytes() / 1e9, large.embStorageBytes() / 1e9,
+                small.fcParamCount() / 1e6, large.fcParamCount() / 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table I: production model architecture parameters");
+
+    printRow(rmc1Small(), rmc1Large());
+    printRow(rmc2Small(), rmc2Large());
+    printRow(rmc3Small(), rmc3Large());
+
+    bench::section("paper anchors");
+    std::printf("  embedding storage ~100 MB / ~10 GB / ~1 GB for "
+                "RMC1/RMC2/RMC3:\n");
+    std::printf("    RMC1 %6.2f GB   RMC2 %6.2f GB   RMC3 %6.2f GB\n",
+                rmc1Small().embStorageBytes() / 1e9,
+                rmc2Small().embStorageBytes() / 1e9,
+                rmc3Small().embStorageBytes() / 1e9);
+    std::printf("  Section VII example RMC1: %lld tables x %lld rows, "
+                "%lld lookups\n",
+                static_cast<long long>(rmc1PaperExample().emb.numTables),
+                static_cast<long long>(rmc1PaperExample().emb.rowsPerTable),
+                static_cast<long long>(
+                    rmc1PaperExample().emb.lookupsPerTable));
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table II: the server architectures present in the data
+ * center, plus the derived throughput parameters the timing model uses.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    bench::banner("Table II: data-center server architectures");
+
+    std::printf("  %-22s %10s %10s %10s\n", "", "Haswell", "Broadwell",
+                "Skylake");
+    auto machines = fleetMachines();
+    auto row = [&](const char *label, auto getter) {
+        std::printf("  %-22s", label);
+        for (const MachineSpec &m : machines)
+            std::printf(" %10s", getter(m).c_str());
+        std::printf("\n");
+    };
+
+    row("Frequency", [](const MachineSpec &m) {
+        return strprintf("%.1f GHz", m.freqGHz);
+    });
+    row("Cores per socket", [](const MachineSpec &m) {
+        return strprintf("%u", m.coresPerSocket);
+    });
+    row("Sockets", [](const MachineSpec &m) {
+        return strprintf("%u", m.sockets);
+    });
+    row("SIMD", [](const MachineSpec &m) {
+        return std::string(simdIsaName(m.simd.isa));
+    });
+    row("L1 cache", [](const MachineSpec &m) {
+        return strprintf("%llu KB", static_cast<unsigned long long>(
+            m.l1.sizeBytes / 1024));
+    });
+    row("L2 cache", [](const MachineSpec &m) {
+        return strprintf("%llu KB", static_cast<unsigned long long>(
+            m.l2.sizeBytes / 1024));
+    });
+    row("L3 cache", [](const MachineSpec &m) {
+        return strprintf("%.1f MB", static_cast<double>(m.l3.sizeBytes) /
+            (1024.0 * 1024.0));
+    });
+    row("L2/L3 policy", [](const MachineSpec &m) {
+        return std::string(m.policy == InclusionPolicy::Inclusive
+                               ? "Inclusive" : "Exclusive");
+    });
+    row("DDR type", [](const MachineSpec &m) { return m.dram.ddrType; });
+    row("DDR frequency", [](const MachineSpec &m) {
+        return strprintf("%.0f MHz", m.dram.ddrFreqMHz);
+    });
+    row("DDR BW per socket", [](const MachineSpec &m) {
+        return strprintf("%.0f GB/s", m.dram.bandwidthGBps);
+    });
+
+    bench::section("derived timing-model parameters");
+    row("peak fp32/core", [](const MachineSpec &m) {
+        return strprintf("%.0f F/cyc", m.simd.peakFlopsPerCycle());
+    });
+    row("DRAM latency", [](const MachineSpec &m) {
+        return strprintf("%u cyc", m.dramLatencyCycles());
+    });
+    row("stream BW (DRAM)", [](const MachineSpec &m) {
+        return strprintf("%.1f GB/s", m.dram.streamGBps());
+    });
+    row("gather BW (batch 1)", [](const MachineSpec &m) {
+        return strprintf("%.2f GB/s", m.dram.gatherGBps());
+    });
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Regenerates Table III: which micro-architectural features bottleneck
+ * each class of recommendation model.
+ *
+ * Method: start from the Broadwell baseline and improve one feature at
+ * a time (frequency, SIMD width, DRAM bandwidth/frequency, LLC
+ * capacity); report the latency change for an MLP-dominated model
+ * (RMC3, large batch) and an embedding-dominated one (RMC2). The paper
+ * concludes that dense models are bound by core frequency/count and
+ * SIMD, sparse models by DRAM frequency/bandwidth and cache contention.
+ */
+
+#include "bench/bench_common.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/colocation.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+namespace {
+
+double
+latency(const MachineSpec &machine, const ModelConfig &cfg, int64_t batch)
+{
+    TimerOptions opts;
+    opts.batch = batch;
+    ModelTimer timer(machine, cfg, opts);
+    return timer.steadyState(15, 15).totalSeconds();
+}
+
+void
+speedupRow(const char *label, const MachineSpec &variant,
+           const MachineSpec &base)
+{
+    double dense_base = latency(base, rmc3Small(), 64);
+    double dense_new = latency(variant, rmc3Small(), 64);
+    double sparse_base = latency(base, rmc2Small(), 16);
+    double sparse_new = latency(variant, rmc2Small(), 16);
+    std::printf("  %-26s %10.2fx %12.2fx\n", label,
+                dense_base / dense_new, sparse_base / sparse_new);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table III: micro-architectural bottlenecks by model "
+                  "class");
+
+    MachineSpec base = broadwell();
+    std::printf("  %-26s %11s %13s\n", "improved feature",
+                "MLP-dom.", "embedding-dom.");
+    std::printf("  %-26s %11s %13s\n", "(one at a time, on BDW)",
+                "(RMC3 b64)", "(RMC2 b16)");
+
+    {
+        MachineSpec m = base;
+        m.freqGHz *= 1.25;
+        speedupRow("core frequency +25%", m, base);
+    }
+    {
+        MachineSpec m = base;
+        m.simd = makeAvx512Model(); // widen SIMD, keep everything else
+        speedupRow("SIMD AVX-2 -> AVX-512", m, base);
+    }
+    {
+        MachineSpec m = base;
+        m.dram.bandwidthGBps *= 1.5;
+        m.dram.ddrFreqMHz *= 1.5;
+        speedupRow("DRAM freq/bandwidth +50%", m, base);
+    }
+    {
+        MachineSpec m = base;
+        m.dram.latencyNs *= 0.75;
+        speedupRow("DRAM latency -25%", m, base);
+    }
+    {
+        MachineSpec m = base;
+        m.l3.sizeBytes *= 2;
+        speedupRow("LLC capacity x2", m, base);
+    }
+
+    bench::section("cache contention sensitivity (co-location N=8 vs 1, "
+                   "batch 32)");
+    for (const ModelConfig &cfg : {rmc3Small(), rmc2Small()}) {
+        TimerOptions opts;
+        opts.batch = 32;
+        ColocationSim solo(base, cfg, opts, 1);
+        ColocationSim packed(base, cfg, opts, 8);
+        double s = solo.run(10, 6).meanLatency();
+        double p = packed.run(10, 6).meanLatency();
+        std::printf("  %-12s latency degradation: %5.2fx\n",
+                    cfg.name.c_str(), p / s);
+    }
+
+    bench::section("hyperthreading penalty (Section VI)");
+    {
+        TimerOptions solo_opts;
+        solo_opts.batch = 32;
+        TimerOptions ht_opts = solo_opts;
+        ht_opts.hyperthreading = true;
+        for (const ModelConfig &cfg : {rmc3Small(), rmc2Small()}) {
+            ModelTimer a(base, cfg, solo_opts);
+            ModelTimer b(base, cfg, ht_opts);
+            ModelTiming ta = a.steadyState(10, 10);
+            ModelTiming tb = b.steadyState(10, 10);
+            std::printf("  %-12s FC %.2fx  SLS %.2fx  total %.2fx  "
+                        "(paper: FC 1.6x, SLS 1.3x)\n", cfg.name.c_str(),
+                        tb.secondsByKind(OpKind::FC) /
+                            ta.secondsByKind(OpKind::FC),
+                        tb.secondsByKind(OpKind::SLS) /
+                            ta.secondsByKind(OpKind::SLS),
+                        tb.totalSeconds() / ta.totalSeconds());
+        }
+    }
+
+    bench::section("summary (Table III)");
+    std::printf("  dense/MLP-dominated (RMC1, RMC3): core frequency, "
+                "SIMD width, cache size\n");
+    std::printf("  sparse/embedding-dominated (RMC1, RMC2): DRAM "
+                "frequency & bandwidth, cache contention\n");
+    return 0;
+}

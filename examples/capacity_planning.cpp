@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Capacity planning: exploit server heterogeneity when scheduling
+ * recommendation inference (the paper's headline system insight).
+ *
+ * For a target SLA, sweep machine generation, batching, and co-location
+ * degree with the discrete-event serving simulator, and report the
+ * configuration that maximizes latency-bounded throughput (items ranked
+ * per second under the SLA).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "serving/server.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    const ModelConfig model = rmc2Small();
+    const double sla = 0.010; // 10 ms, search-like (Section III)
+
+    std::printf("capacity planning for %s, SLA %.0f ms\n",
+                model.name.c_str(), sla * 1e3);
+    std::printf("%-10s %8s %8s | %10s %10s %9s\n", "machine", "workers",
+                "batch", "p99 (ms)", "items/s", "SLA met");
+
+    double best_throughput = 0.0;
+    std::string best;
+    for (const MachineSpec &machine : fleetMachines()) {
+        for (uint32_t workers : {4u, 8u}) {
+            for (int64_t batch : {16, 64}) {
+                ServerOptions sopts;
+                sopts.numWorkers = workers;
+                sopts.maxBatch = batch;
+                sopts.slaSeconds = sla;
+                Server server(machine, model, TimerOptions{}, sopts);
+
+                // Offered load near this configuration's capacity.
+                ServingStats sat = server.runClosedLoop(4);
+                double capacity = sat.totalThroughput() *
+                    static_cast<double>(batch);
+                Server open(machine, model, TimerOptions{}, sopts);
+                ServingStats stats =
+                    open.runOpenLoop(0.7 * capacity, 1'200);
+
+                double good = stats.goodThroughput();
+                std::printf("%-10s %8u %8lld | %10.2f %10.0f %8.1f%%\n",
+                            machine.name.c_str(), workers,
+                            static_cast<long long>(batch),
+                            stats.itemLatency.p(99) * 1e3, good,
+                            stats.slaFraction() * 100);
+                if (good > best_throughput) {
+                    best_throughput = good;
+                    best = strprintf("%s x%u workers, batch %lld",
+                                     machine.name.c_str(), workers,
+                                     static_cast<long long>(batch));
+                }
+            }
+        }
+    }
+
+    std::printf("\nbest configuration under the %.0f ms SLA:\n  %s "
+                "(%.0f items/s within SLA)\n", sla * 1e3, best.c_str(),
+                best_throughput);
+    std::printf("\nNote how the best machine depends on the operating "
+                "point: Broadwell\nwins latency-critical, lightly-loaded "
+                "configurations; Skylake wins when\nbatching and "
+                "co-location push throughput (Takeaways 3, 4, 7).\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Using the configurable benchmark (Figure 13): define a custom
+ * recommendation architecture by dialing the open-source benchmark's
+ * parameters — number/shape of embedding tables, lookups per table, and
+ * Bottom/Top-MLP dimensions — then study it under different sparse-ID
+ * trace localities (Figure 14) on the simulated fleet.
+ */
+
+#include <cstdio>
+
+#include "core/rng.hh"
+#include "machine/machine_spec.hh"
+#include "model/config.hh"
+#include "model/rec_model.hh"
+#include "timing/model_timer.hh"
+#include "trace/id_generator.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    // --- Define a custom model, exactly the Section VII-A example. ---
+    ModelConfig cfg;
+    cfg.name = "my-recommender";
+    cfg.modelClass = ModelClass::RMC1;
+    cfg.denseFeatures = 128;
+    cfg.bottomMlp = {128, 64, 32};       // Bottom-MLP widths
+    cfg.emb.numTables = 5;               // embedding tables
+    cfg.emb.rowsPerTable = 100'000;      // input (row) dimension
+    cfg.emb.embDim = 32;                 // output dimension
+    cfg.emb.lookupsPerTable = 80;        // sparse IDs pooled per sample
+    cfg.topMlp = {128, 32, 1};           // Top-MLP widths
+    cfg.validate();
+
+    std::printf("custom model '%s': %.1f MB embeddings, %lld FC params\n",
+                cfg.name.c_str(), cfg.embStorageBytes() / 1e6,
+                static_cast<long long>(cfg.fcParamCount()));
+
+    // --- It executes functionally like any zoo model. ---
+    Rng rng(3);
+    RecModel model(cfg, rng);
+    ModelInput input = model.randomInput(4, rng);
+    Tensor ctr = model.forward(input);
+    std::printf("sample CTRs: %.4f %.4f %.4f %.4f\n\n", ctr.at(0, 0),
+                ctr.at(1, 0), ctr.at(2, 0), ctr.at(3, 0));
+
+    // --- Sweep trace locality (the Fig 14 knob) and batch size. ---
+    MachineSpec bdw = broadwell();
+    std::printf("%-22s %10s %10s %10s\n", "trace profile", "batch 1",
+                "batch 16", "batch 128");
+    for (const TraceProfile &profile :
+         {TraceProfile{"near-random", 0.6, 0.05, 512},
+          TraceProfile{"typical", 1.0, 0.5, 8192},
+          TraceProfile{"highly-local", 1.1, 0.9, 16384}}) {
+        std::printf("%-22s", profile.name.c_str());
+        for (int64_t batch : {1, 16, 128}) {
+            TimerOptions opts;
+            opts.batch = batch;
+            opts.zipfAlpha = profile.zipfAlpha;
+            opts.repeatProb = profile.repeatProb;
+            opts.repeatWindow = profile.window;
+            ModelTimer timer(bdw, cfg, opts);
+            double ms = timer.steadyState(15, 15).totalSeconds() * 1e3;
+            std::printf(" %8.3fms", ms);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nhigher trace locality -> more embedding rows served "
+                "from cache -> faster\nSparseLengthsSum, exactly the "
+                "caching opportunity Fig 14 motivates.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build a production-class recommendation model, score a
+ * batch of user-post pairs functionally, then characterize the same
+ * architecture on the simulated server fleet.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/rng.hh"
+#include "machine/machine_spec.hh"
+#include "model/rec_model.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    // --- 1. Pick a model architecture from the zoo (Table I). ---
+    ModelConfig config = rmc1Small();
+    std::printf("model: %s\n", config.name.c_str());
+    std::printf("  %lld embedding tables x %lld rows x dim %lld "
+                "(%.1f MB at fp32)\n",
+                static_cast<long long>(config.emb.numTables),
+                static_cast<long long>(config.emb.rowsPerTable),
+                static_cast<long long>(config.emb.embDim),
+                config.embStorageBytes() / 1e6);
+    std::printf("  %lld FC parameters\n\n",
+                static_cast<long long>(config.fcParamCount()));
+
+    // --- 2. Materialize it (reduced embedding rows so the tables fit
+    // in an example process) and predict CTRs for a batch. ---
+    Rng rng(7);
+    RecModel model(config.functionalScale(/*max_rows=*/8192), rng);
+    const int64_t batch = 8;
+    ModelInput input = model.randomInput(batch, rng);
+    Tensor ctr = model.forward(input);
+
+    std::printf("predicted click-through rates (batch of %lld):\n",
+                static_cast<long long>(batch));
+    for (int64_t i = 0; i < batch; ++i)
+        std::printf("  post %lld: CTR %.4f\n", static_cast<long long>(i),
+                    ctr.at(i, 0));
+
+    // --- 3. Characterize the full-scale architecture on each server
+    // generation (no tables are materialized for this). ---
+    std::printf("\nbatch-1 inference latency on the simulated fleet:\n");
+    for (const MachineSpec &machine : fleetMachines()) {
+        TimerOptions opts;
+        opts.batch = 1;
+        ModelTimer timer(machine, config, opts);
+        ModelTiming t = timer.steadyState(30, 30);
+        std::printf("  %-10s %7.1f us   (FC %4.1f%%, SLS %4.1f%%)\n",
+                    machine.name.c_str(), t.totalSeconds() * 1e6,
+                    t.fractionByKind(OpKind::FC) * 100,
+                    t.fractionByKind(OpKind::SLS) * 100);
+    }
+    return 0;
+}

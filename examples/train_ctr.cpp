@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Training a CTR model on synthetic click data.
+ *
+ * The paper's open-source benchmark supports training as well as
+ * inference; §II notes that sparse features make training harder —
+ * embedding gradients only touch the rows gathered in the forward
+ * pass. This example trains an RMC1-architecture model on a planted
+ * dense+sparse click rule and reports the loss curve, accuracy,
+ * which embedding rows each step actually updates.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/rng.hh"
+#include "model/rec_model.hh"
+#include "model/zoo.hh"
+#include "train/trainer.hh"
+
+using namespace recperf;
+
+int
+main()
+{
+    ModelConfig cfg = rmc1Small().functionalScale(2048);
+    // An input generator (any model of the right shape works) and the
+    // student model to be trained.
+    Rng gen_rng(1);
+    RecModel generator(cfg, gen_rng);
+    Rng student_rng(2);
+    RecModel student(cfg, student_rng);
+
+    TrainOptions opts;
+    opts.learningRate = 0.05f;
+    Trainer trainer(student, opts);
+
+    const int64_t batch = 64;
+    Rng data_rng(3);
+
+    std::printf("training %s (%lld parameters) on synthetic clicks\n",
+                cfg.name.c_str(),
+                static_cast<long long>(student.paramCount()));
+    std::printf("%8s %10s %10s %9s\n", "step", "loss", "accuracy",
+                "AUC");
+
+    ModelInput last_inputs;
+    for (int step = 1; step <= 400; ++step) {
+        ModelInput inputs = generator.randomInput(batch, data_rng);
+
+        // Planted, balanced click rule combining a dense signal (sign
+        // of the first two dense features) with a sparse one (whether
+        // the sample's first table-0 ID falls in the "popular" half) —
+        // the latter is only learnable through the embedding rows.
+        std::vector<float> labels;
+        for (int64_t b = 0; b < batch; ++b) {
+            float dense_signal =
+                inputs.dense.at(b, 0) + inputs.dense.at(b, 1);
+            int64_t first_id = inputs.sparse[0]
+                .ids[static_cast<size_t>(b * cfg.emb.lookupsPerTable)];
+            float sparse_signal =
+                first_id < cfg.emb.rowsOf(0) / 2 ? 0.4f : -0.4f;
+            labels.push_back(dense_signal + sparse_signal > 0.0f ? 1.0f
+                                                                 : 0.0f);
+        }
+
+        double loss = trainer.step(inputs, labels);
+        if (step == 1 || step % 80 == 0) {
+            std::printf("%8d %10.4f %9.1f%% %9.3f\n", step, loss,
+                        trainer.accuracy(inputs, labels) * 100.0,
+                        trainer.auc(inputs, labels));
+        }
+        last_inputs = std::move(inputs);
+    }
+
+    // The sparsity of embedding updates: rows touched per step vs total.
+    std::set<std::pair<size_t, int64_t>> touched;
+    for (size_t t = 0; t < last_inputs.sparse.size(); ++t) {
+        for (int64_t id : last_inputs.sparse[t].ids)
+            touched.emplace(t, id);
+    }
+    int64_t total_rows = cfg.emb.totalRows();
+    std::printf("\nsparse updates: the last step touched %zu of %lld "
+                "embedding rows (%.1f%%) —\nthe training-side "
+                "irregularity the paper highlights in Section II.\n",
+                touched.size(), static_cast<long long>(total_rows),
+                100.0 * static_cast<double>(touched.size()) /
+                    static_cast<double>(total_rows));
+    return 0;
+}

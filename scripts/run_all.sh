@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure plus the ablations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "==================== $(basename "$b")"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cache-line-aligned heap buffer used as tensor storage.
+ */
+
+#ifndef RECPERF_CORE_ALIGNED_HH
+#define RECPERF_CORE_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+namespace recperf {
+
+/** Width of one cache line on every machine this project models. */
+inline constexpr size_t kCacheLineBytes = 64;
+
+/**
+ * An owning, 64-byte-aligned array of trivially-copyable elements.
+ * Alignment matters for the blocked GEMM kernels and makes the
+ * address-trace arithmetic in the cache simulator exact.
+ */
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer holds trivially-copyable elements only");
+
+  public:
+    AlignedBuffer() = default;
+
+    explicit AlignedBuffer(size_t count) { resize(count); }
+
+    AlignedBuffer(const AlignedBuffer &other) { *this = other; }
+
+    AlignedBuffer &
+    operator=(const AlignedBuffer &other)
+    {
+        if (this != &other) {
+            resize(other.size_);
+            if (size_ > 0)
+                std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+        }
+        return *this;
+    }
+
+    AlignedBuffer(AlignedBuffer &&) noexcept = default;
+    AlignedBuffer &operator=(AlignedBuffer &&) noexcept = default;
+
+    /** Reallocate to hold @p count elements; contents are not preserved. */
+    void
+    resize(size_t count)
+    {
+        size_ = count;
+        if (count == 0) {
+            data_.reset();
+            return;
+        }
+        size_t bytes = count * sizeof(T);
+        bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes *
+            kCacheLineBytes;
+        void *raw = std::aligned_alloc(kCacheLineBytes, bytes);
+        if (!raw)
+            throw std::bad_alloc();
+        data_.reset(static_cast<T *>(raw));
+    }
+
+    T *data() { return data_.get(); }
+    const T *data() const { return data_.get(); }
+    size_t size() const { return size_; }
+
+    T &operator[](size_t i) { return data_.get()[i]; }
+    const T &operator[](size_t i) const { return data_.get()[i]; }
+
+  private:
+    struct FreeDeleter
+    {
+        void operator()(T *p) const { std::free(p); }
+    };
+
+    std::unique_ptr<T[], FreeDeleter> data_;
+    size_t size_ = 0;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_CORE_ALIGNED_HH

@@ -1,0 +1,141 @@
+#include "core/args.hh"
+
+#include <cstdlib>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    RP_ASSERT(!options_.count(name), "duplicate argument --%s",
+              name.c_str());
+    options_[name] = {"", "", help, /*is_flag=*/true, false};
+    order_.push_back(name);
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    RP_ASSERT(!options_.count(name), "duplicate argument --%s",
+              name.c_str());
+    options_[name] = {def, def, help, /*is_flag=*/false, false};
+    order_.push_back(name);
+}
+
+bool
+ArgParser::parse(const std::vector<std::string> &args, std::string *error)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos_.push_back(arg);
+            continue;
+        }
+
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+            if (error)
+                *error = "unknown argument --" + name;
+            return false;
+        }
+        Option &opt = it->second;
+        opt.set = true;
+        if (opt.is_flag) {
+            if (has_inline) {
+                if (error)
+                    *error = "flag --" + name + " takes no value";
+                return false;
+            }
+            opt.value = "1";
+        } else if (has_inline) {
+            opt.value = inline_value;
+        } else {
+            if (i + 1 >= args.size()) {
+                if (error)
+                    *error = "missing value for --" + name;
+                return false;
+            }
+            opt.value = args[++i];
+        }
+    }
+    return true;
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    auto it = options_.find(name);
+    RP_ASSERT(it != options_.end() && it->second.is_flag,
+              "unknown flag --%s", name.c_str());
+    return it->second.set;
+}
+
+const std::string &
+ArgParser::option(const std::string &name) const
+{
+    auto it = options_.find(name);
+    RP_ASSERT(it != options_.end() && !it->second.is_flag,
+              "unknown option --%s", name.c_str());
+    return it->second.value;
+}
+
+int64_t
+ArgParser::optionInt(const std::string &name) const
+{
+    const std::string &v = option(name);
+    char *end = nullptr;
+    long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        RP_FATAL("--%s expects an integer, got '%s'", name.c_str(),
+                 v.c_str());
+    return parsed;
+}
+
+double
+ArgParser::optionDouble(const std::string &name) const
+{
+    const std::string &v = option(name);
+    char *end = nullptr;
+    double parsed = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        RP_FATAL("--%s expects a number, got '%s'", name.c_str(),
+                 v.c_str());
+    return parsed;
+}
+
+std::string
+ArgParser::helpText() const
+{
+    std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+    for (const std::string &name : order_) {
+        const Option &opt = options_.at(name);
+        if (opt.is_flag) {
+            out += strprintf("  --%-18s %s\n", name.c_str(),
+                             opt.help.c_str());
+        } else {
+            out += strprintf("  --%-18s %s (default: %s)\n",
+                             (name + " <v>").c_str(), opt.help.c_str(),
+                             opt.def.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace recperf

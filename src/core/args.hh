@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the RecPerf tools.
+ *
+ * Supports boolean flags (--verbose), valued options (--batch 16 or
+ * --batch=16), and positional arguments, with generated help text.
+ */
+
+#ifndef RECPERF_CORE_ARGS_HH
+#define RECPERF_CORE_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recperf {
+
+/** Declarative command-line parser. */
+class ArgParser
+{
+  public:
+    explicit ArgParser(std::string program, std::string description);
+
+    /** Register a boolean flag, e.g. "verbose" for --verbose. */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Register a valued option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /**
+     * Parse argv (excluding argv[0]).
+     * @return true on success; on failure @p error describes the issue.
+     */
+    bool parse(const std::vector<std::string> &args, std::string *error);
+
+    bool flag(const std::string &name) const;
+    const std::string &option(const std::string &name) const;
+    int64_t optionInt(const std::string &name) const;
+    double optionDouble(const std::string &name) const;
+    const std::vector<std::string> &positional() const { return pos_; }
+
+    /** Generated usage text. */
+    std::string helpText() const;
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string def;
+        std::string help;
+        bool is_flag = false;
+        bool set = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> pos_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_CORE_ARGS_HH

@@ -1,0 +1,125 @@
+#include "core/rng.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    // xoshiro256** step.
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    RP_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Lemire-style rejection to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextInt(int64_t lo, int64_t hi)
+{
+    RP_ASSERT(lo <= hi, "nextInt range [%lld, %lld] is empty",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0)
+        u1 = nextDouble();
+    double u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    has_cached_gaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    RP_ASSERT(rate > 0.0, "exponential rate must be positive");
+    double u = 0.0;
+    while (u == 0.0)
+        u = nextDouble();
+    return -std::log(u) / rate;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace recperf

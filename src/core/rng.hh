@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of RecPerf (weight initialization, sparse-ID
+ * traces, arrival processes, timing jitter) draw from Rng so that every
+ * experiment is reproducible from a single seed. The core generator is
+ * xoshiro256**, which is fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef RECPERF_CORE_RNG_HH
+#define RECPERF_CORE_RNG_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace recperf {
+
+/**
+ * A seedable, splittable pseudo-random number generator.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * used with <random> distributions when convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<uint64_t>::max();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using unbiased rejection. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double nextGaussian();
+
+    /** Exponential with the given rate (inter-arrival times). */
+    double nextExponential(double rate);
+
+    /** Bernoulli trial with probability p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Derive an independent child generator. Used to give each component
+     * (trace gen, jitter, arrivals) its own stream from one master seed.
+     */
+    Rng split();
+
+  private:
+    uint64_t state_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_CORE_RNG_HH

@@ -1,0 +1,149 @@
+#include "fleet/fleet_mix.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "model/proxy.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+namespace recperf {
+
+namespace {
+
+bool
+isRecommendation(ModelClass cls)
+{
+    return cls == ModelClass::RMC1 || cls == ModelClass::RMC2 ||
+        cls == ModelClass::RMC3 || cls == ModelClass::NCF;
+}
+
+/** Normalized operator breakdown of a zoo config timed on a machine. */
+std::map<OpKind, double>
+timedBreakdown(const MachineSpec &machine, const ModelConfig &config,
+               int64_t batch)
+{
+    TimerOptions opts;
+    opts.batch = batch;
+    ModelTimer timer(machine, config, opts);
+    ModelTiming timing = timer.steadyState(8, 8);
+    std::map<OpKind, double> shares = timing.breakdown();
+    double total = timing.totalSeconds();
+    RP_ASSERT(total > 0.0, "zero model time in fleet breakdown");
+    for (auto &[kind, secs] : shares)
+        secs /= total;
+    return shares;
+}
+
+} // namespace
+
+FleetMix::FleetMix(std::vector<FleetEntry> entries)
+    : entries_(std::move(entries))
+{
+    double total = 0.0;
+    for (const FleetEntry &e : entries_) {
+        RP_ASSERT(e.cycleShare >= 0.0, "negative cycle share for %s",
+                  e.name.c_str());
+        total += e.cycleShare;
+    }
+    RP_ASSERT(std::fabs(total - 1.0) < 1e-6,
+              "fleet cycle shares sum to %f, expected 1", total);
+}
+
+FleetMix
+FleetMix::productionDefault(const MachineSpec &machine)
+{
+    // Fig 1: RMC1-3 together 65%, all recommendation >= 79%. Operator
+    // breakdowns are measured at unit batch, like Fig 7.
+    const int64_t serving_batch = 1;
+    std::vector<FleetEntry> entries;
+
+    entries.push_back({"RMC1", ModelClass::RMC1, 0.31,
+                       timedBreakdown(machine, rmc1Small(), serving_batch)});
+    entries.push_back({"RMC2", ModelClass::RMC2, 0.24,
+                       timedBreakdown(machine, rmc2Small(), serving_batch)});
+    entries.push_back({"RMC3", ModelClass::RMC3, 0.10,
+                       timedBreakdown(machine, rmc3Small(), serving_batch)});
+    // "Other RMCs": hundreds of diverse models; approximated as an even
+    // blend of the large light-ranking and heavy-ranking variants.
+    std::map<OpKind, double> other;
+    for (const auto &[kind, frac] :
+         timedBreakdown(machine, rmc1Large(), serving_batch)) {
+        other[kind] += 0.5 * frac;
+    }
+    for (const auto &[kind, frac] :
+         timedBreakdown(machine, rmc3Large(), serving_batch)) {
+        other[kind] += 0.5 * frac;
+    }
+    entries.push_back({"Other-RMCs", ModelClass::NCF, 0.14, other});
+
+    // Non-recommendation remainder: CNN- and RNN-dominated services.
+    double non_rec = 1.0 - 0.31 - 0.24 - 0.10 - 0.14;
+    auto proxies = proxyModels();
+    const ProxyModel *resnet = nullptr;
+    const ProxyModel *gnmt = nullptr;
+    for (const ProxyModel &p : proxies) {
+        if (p.name == "ResNet50")
+            resnet = &p;
+        if (p.name == "GNMT")
+            gnmt = &p;
+    }
+    RP_ASSERT(resnet && gnmt, "proxy models missing");
+    // The paper's fleet runs far more CNN than RNN cycles (SLS alone is
+    // 4x the Conv cycles but 20x the Recurrent cycles, Section II-B).
+    entries.push_back({"CNN-services", ModelClass::Other, non_rec * 0.83,
+                       resnet->opShare});
+    entries.push_back({"RNN-services", ModelClass::Other, non_rec * 0.17,
+                       gnmt->opShare});
+
+    return FleetMix(std::move(entries));
+}
+
+std::map<std::string, double>
+FleetMix::modelShares() const
+{
+    std::map<std::string, double> shares;
+    for (const FleetEntry &e : entries_)
+        shares[e.name] += e.cycleShare;
+    return shares;
+}
+
+double
+FleetMix::recommendationShare() const
+{
+    double share = 0.0;
+    for (const FleetEntry &e : entries_) {
+        if (isRecommendation(e.modelClass))
+            share += e.cycleShare;
+    }
+    return share;
+}
+
+double
+FleetMix::rmcShare() const
+{
+    double share = 0.0;
+    for (const FleetEntry &e : entries_) {
+        if (e.modelClass == ModelClass::RMC1 ||
+            e.modelClass == ModelClass::RMC2 ||
+            e.modelClass == ModelClass::RMC3) {
+            share += e.cycleShare;
+        }
+    }
+    return share;
+}
+
+FleetMix::OperatorShares
+FleetMix::operatorShares() const
+{
+    OperatorShares shares;
+    for (const FleetEntry &e : entries_) {
+        auto &bucket = isRecommendation(e.modelClass)
+            ? shares.recommendation : shares.nonRecommendation;
+        for (const auto &[kind, frac] : e.opBreakdown)
+            bucket[kind] += e.cycleShare * frac;
+    }
+    return shares;
+}
+
+} // namespace recperf

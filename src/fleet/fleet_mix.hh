@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Data-center fleet model: which models consume the AI cycles.
+ *
+ * Fig 1 of the paper reports that recommendation models consume over
+ * 79% of AI inference cycles (RMC1-3 alone 65%); Fig 4 breaks the
+ * fleet-wide cycles down by operator (FC, SLS and Concat together over
+ * 45%, SLS alone ~15%). Those figures are fleet-weighted sums of
+ * per-model operator breakdowns; this module performs that weighting
+ * over a configurable mix of recommendation models (timed with the
+ * machine model) and non-recommendation proxies.
+ */
+
+#ifndef RECPERF_FLEET_FLEET_MIX_HH
+#define RECPERF_FLEET_FLEET_MIX_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine_spec.hh"
+#include "model/config.hh"
+#include "ops/op_cost.hh"
+
+namespace recperf {
+
+/** One workload's share of the fleet's AI inference cycles. */
+struct FleetEntry
+{
+    std::string name;
+    ModelClass modelClass = ModelClass::Other;
+    double cycleShare = 0.0; ///< fraction of all AI inference cycles
+    /** Operator breakdown within this workload (fractions sum to 1). */
+    std::map<OpKind, double> opBreakdown;
+};
+
+/** A weighted collection of fleet workloads. */
+class FleetMix
+{
+  public:
+    explicit FleetMix(std::vector<FleetEntry> entries);
+
+    /**
+     * The paper's production mix: RMC1 ~31%, RMC2 ~24%, RMC3 ~10%
+     * (together 65%), other recommendation models 14% (79% total),
+     * and non-recommendation CNN/RNN workloads for the remainder.
+     * Recommendation operator breakdowns are obtained by timing the
+     * zoo configs on @p machine at a typical serving batch.
+     */
+    static FleetMix productionDefault(const MachineSpec &machine);
+
+    const std::vector<FleetEntry> &entries() const { return entries_; }
+
+    /** Fraction of all AI cycles per workload (Fig 1). */
+    std::map<std::string, double> modelShares() const;
+
+    /** Fraction of all AI cycles spent in recommendation models. */
+    double recommendationShare() const;
+
+    /** Fraction of AI cycles in RMC1+RMC2+RMC3. */
+    double rmcShare() const;
+
+    /** Fleet-wide cycles per operator kind (Fig 4), split into
+     *  recommendation and non-recommendation contributions. */
+    struct OperatorShares
+    {
+        std::map<OpKind, double> recommendation;
+        std::map<OpKind, double> nonRecommendation;
+    };
+    OperatorShares operatorShares() const;
+
+  private:
+    std::vector<FleetEntry> entries_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_FLEET_FLEET_MIX_HH

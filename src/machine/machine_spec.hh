@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Server architecture descriptions — Table II of the paper.
+ *
+ * Three generations of dual-socket Intel servers co-exist in the data
+ * center: Haswell, Broadwell, and Skylake. The spec captures every
+ * parameter the paper identifies as performance-relevant: operating
+ * frequency, core count, SIMD generation, per-level cache geometry,
+ * the L2/L3 inclusion policy, and the DDR generation / bandwidth.
+ */
+
+#ifndef RECPERF_MACHINE_MACHINE_SPEC_HH
+#define RECPERF_MACHINE_MACHINE_SPEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/simd.hh"
+#include "ops/op_cost.hh"
+#include "simcache/hierarchy.hh"
+
+namespace recperf {
+
+/** DRAM configuration of one socket. */
+struct DramConfig
+{
+    std::string ddrType;        ///< "DDR3" or "DDR4"
+    double ddrFreqMHz = 0.0;    ///< transfer rate in MT/s
+    double bandwidthGBps = 0.0; ///< peak per-socket bandwidth
+    double latencyNs = 0.0;     ///< idle load-to-use latency
+
+    /**
+     * Effective bandwidth for prefetch-friendly sequential streams
+     * (FC weight reads), as a fraction of peak.
+     */
+    double streamEfficiency = 0.75;
+
+    /**
+     * Effective bandwidth for dependent random 64 B gathers
+     * (embedding-table reads). Production SLS sustains only ~1 GB/s on
+     * Broadwell (Section V), i.e. a small fraction of peak.
+     */
+    double gatherEfficiency = 0.014;
+
+    /**
+     * How strongly batching raises gather throughput. Larger batches
+     * expose independent lookups that overlap in the miss queues;
+     * deeper out-of-order machines (Skylake) benefit the most. This is
+     * why AVX-512-era Skylake needs batch >= 128 to win on the
+     * memory-intensive RMC1/RMC2 (Fig 8, Takeaway 4).
+     */
+    double gatherMlpGain = 0.25;
+
+    double streamGBps() const { return bandwidthGBps * streamEfficiency; }
+    double gatherGBps() const { return bandwidthGBps * gatherEfficiency; }
+
+    /** Gather bandwidth multiplier at a given batch size. */
+    double gatherMlpFactor(int64_t batch) const;
+};
+
+/**
+ * One server generation (Table II) plus calibrated throughput models.
+ */
+struct MachineSpec
+{
+    std::string name;
+    double freqGHz = 0.0;
+    uint32_t coresPerSocket = 0;
+    uint32_t sockets = 2;
+    SimdModel simd;
+    LevelConfig l1;
+    LevelConfig l2;
+    LevelConfig l3;             ///< per-socket shared LLC
+    InclusionPolicy policy = InclusionPolicy::Inclusive;
+    double dramCapacityGB = 256.0;
+    DramConfig dram;
+
+    /**
+     * Hardware prefetching applied by makeHierarchy(). Off by default:
+     * the paper's fleet measurements bake prefetcher effects into the
+     * calibrated bandwidths, so this knob exists for what-if studies
+     * (§VII) rather than the baseline reproduction.
+     */
+    PrefetchConfig prefetch;
+
+    /**
+     * Fixed per-operator framework dispatch cost in core cycles
+     * (Caffe2 operator setup, output allocation, scheduling). Heavier
+     * operators carry more framework work: FC sets up the GEMM
+     * descriptor and output blob, SLS validates/gathers index arrays,
+     * element-wise ops are nearly free to launch. Calibrated against
+     * the batch-1 operator breakdowns of Fig 7.
+     */
+    double dispatchCyclesFc = 6000.0;
+    double dispatchCyclesSls = 2500.0;
+    double dispatchCyclesLight = 1200.0;
+
+    /** Dispatch cycles for an operator of the given kind. */
+    double dispatchCyclesFor(OpKind kind) const;
+
+    uint32_t totalCores() const { return coresPerSocket * sockets; }
+
+    /** Core cycles per second. */
+    double cyclesPerSecond() const { return freqGHz * 1e9; }
+
+    /** Idle DRAM latency expressed in core cycles. */
+    uint32_t dramLatencyCycles() const;
+
+    /** Seconds consumed by dispatching an operator of @p kind. */
+    double dispatchSeconds(OpKind kind) const;
+
+    /**
+     * Build a cache hierarchy with @p tenants private L1/L2 pairs
+     * sharing one socket's LLC — the co-location configuration of
+     * Section VI.
+     */
+    std::unique_ptr<CacheHierarchy> makeHierarchy(uint32_t tenants) const;
+
+    /** Seconds to stream @p bytes from the level named by @p level. */
+    double streamSeconds(HitLevel level, double bytes) const;
+
+    /**
+     * Seconds to gather @p lines random cache lines, with batch-level
+     * memory parallelism applied to the DRAM component.
+     */
+    double gatherSeconds(HitLevel level, double lines,
+                         int64_t batch = 1) const;
+};
+
+/** Table II: Intel Haswell (AVX-2, DDR3-1600, inclusive L2/L3). */
+MachineSpec haswell();
+
+/** Table II: Intel Broadwell (AVX-2, DDR4-2400, inclusive L2/L3). */
+MachineSpec broadwell();
+
+/** Table II: Intel Skylake (AVX-512, DDR4-2666, exclusive L2/L3). */
+MachineSpec skylake();
+
+/** All three fleet machines, in Table II order. */
+std::vector<MachineSpec> fleetMachines();
+
+} // namespace recperf
+
+#endif // RECPERF_MACHINE_MACHINE_SPEC_HH

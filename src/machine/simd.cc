@@ -1,0 +1,79 @@
+#include "machine/simd.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::AVX2: return "AVX-2";
+      case SimdIsa::AVX512: return "AVX-512";
+    }
+    return "Unknown";
+}
+
+int
+simdLanes(SimdIsa isa)
+{
+    switch (isa) {
+      case SimdIsa::AVX2: return 8;
+      case SimdIsa::AVX512: return 16;
+    }
+    return 0;
+}
+
+double
+SimdModel::peakFlopsPerCycle() const
+{
+    // lanes * 2 (multiply+add per FMA) * issue ports.
+    return static_cast<double>(simdLanes(isa)) * 2.0 * fmaPorts;
+}
+
+double
+SimdModel::efficiency(int64_t batch) const
+{
+    RP_ASSERT(batch > 0, "batch must be positive");
+    double b = static_cast<double>(batch);
+    double saturation = std::max(b / (b + batchHalfSat), minSaturation);
+    return baseEfficiency * saturation;
+}
+
+double
+SimdModel::achievedFlopsPerCycle(int64_t batch) const
+{
+    return peakFlopsPerCycle() * efficiency(batch);
+}
+
+SimdModel
+makeAvx2Model(double fma_ports)
+{
+    SimdModel m;
+    m.isa = SimdIsa::AVX2;
+    m.fmaPorts = fma_ports;
+    m.baseEfficiency = 0.82;
+    m.batchHalfSat = 2.0;
+    // 256-bit GEMV kernels keep most of the pipeline busy even at
+    // batch 1, so low-batch FC stays memory-bound on AVX-2 parts.
+    m.minSaturation = 0.55;
+    return m;
+}
+
+SimdModel
+makeAvx512Model()
+{
+    SimdModel m;
+    m.isa = SimdIsa::AVX512;
+    m.fmaPorts = 2.0;
+    // Wide 512-bit register tiles need large M panels to fill; this is
+    // the mechanism behind the paper's batch-64 BDW/SKL crossover.
+    m.baseEfficiency = 0.75;
+    m.batchHalfSat = 28.0;
+    m.minSaturation = 0.35;
+    return m;
+}
+
+} // namespace recperf

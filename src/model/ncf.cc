@@ -1,0 +1,91 @@
+#include "model/ncf.hh"
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "ops/elementwise.hh"
+
+namespace recperf {
+
+namespace {
+
+/** Single-ID lookups: each sample gathers exactly one row. */
+Tensor
+lookupEach(const EmbeddingTable &table, const std::vector<int64_t> &ids)
+{
+    std::vector<int64_t> lengths(ids.size(), 1);
+    return table.forward(ids, lengths);
+}
+
+} // namespace
+
+NcfModel::NcfModel(const NcfConfig &config, Rng &rng)
+    : config_(config),
+      gmf_user_(config.numUsers, config.gmfDim, rng),
+      gmf_item_(config.numItems, config.gmfDim, rng),
+      mlp_user_(config.numUsers, config.mlpDim, rng),
+      mlp_item_(config.numItems, config.mlpDim, rng),
+      final_(config.gmfDim +
+                 (config.mlpLayers.empty() ? 2 * config.mlpDim
+                                           : config.mlpLayers.back()),
+             1, rng)
+{
+    int64_t in = 2 * config.mlpDim;
+    for (int64_t out : config.mlpLayers) {
+        mlp_.emplace_back(in, out, rng);
+        in = out;
+    }
+}
+
+Tensor
+NcfModel::forward(const NcfInput &input) const
+{
+    RP_ASSERT(input.userIds.size() == input.itemIds.size(),
+              "NCF input user/item count mismatch");
+    int64_t batch = static_cast<int64_t>(input.userIds.size());
+    RP_ASSERT(batch > 0, "NCF empty batch");
+
+    // GMF tower: element-wise product of user and item embeddings.
+    Tensor gu = lookupEach(gmf_user_, input.userIds);
+    Tensor gi = lookupEach(gmf_item_, input.itemIds);
+    Tensor gmf({batch, config_.gmfDim});
+    for (int64_t i = 0; i < gmf.size(); ++i)
+        gmf.data()[i] = gu.data()[i] * gi.data()[i];
+
+    // MLP tower: concatenated embeddings through the FC stack.
+    Tensor mu = lookupEach(mlp_user_, input.userIds);
+    Tensor mi = lookupEach(mlp_item_, input.itemIds);
+    Tensor z = concatCols({&mu, &mi});
+    for (const FullyConnected &fc : mlp_) {
+        z = fc.forward(z);
+        reluInplace(z);
+    }
+
+    Tensor joined = concatCols({&gmf, &z});
+    return sigmoid(final_.forward(joined));
+}
+
+NcfInput
+NcfModel::randomInput(int64_t batch, Rng &rng) const
+{
+    NcfInput input;
+    for (int64_t i = 0; i < batch; ++i) {
+        input.userIds.push_back(static_cast<int64_t>(
+            rng.nextBelow(static_cast<uint64_t>(config_.numUsers))));
+        input.itemIds.push_back(static_cast<int64_t>(
+            rng.nextBelow(static_cast<uint64_t>(config_.numItems))));
+    }
+    return input;
+}
+
+int64_t
+NcfModel::paramCount() const
+{
+    int64_t params = gmf_user_.paramCount() + gmf_item_.paramCount() +
+        mlp_user_.paramCount() + mlp_item_.paramCount() +
+        final_.paramCount();
+    for (const FullyConnected &fc : mlp_)
+        params += fc.paramCount();
+    return params;
+}
+
+} // namespace recperf

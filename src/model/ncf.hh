@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Neural Collaborative Filtering (NeuMF) — the MLPerf baseline.
+ *
+ * The paper contrasts its production models with MLPerf-NCF (Section
+ * VII, Fig 12): NCF has orders-of-magnitude smaller embedding tables,
+ * fewer/smaller FC layers, and single-ID lookups, so FC dominates its
+ * runtime (>90%) where SLS dominates RMC1/RMC2. This is the faithful
+ * functional implementation (GMF + MLP towers, He et al. 2017) used to
+ * reproduce that comparison.
+ */
+
+#ifndef RECPERF_MODEL_NCF_HH
+#define RECPERF_MODEL_NCF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/fully_connected.hh"
+#include "ops/sparse_lengths_sum.hh"
+#include "tensor/tensor.hh"
+
+namespace recperf {
+
+class Rng;
+
+/** Architecture of a NeuMF model. */
+struct NcfConfig
+{
+    int64_t numUsers = 138'000;       ///< MovieLens-20m user count
+    int64_t numItems = 27'000;        ///< MovieLens-20m item count
+    int64_t gmfDim = 64;              ///< GMF embedding dimension
+    int64_t mlpDim = 32;              ///< per-side MLP embedding dim
+    std::vector<int64_t> mlpLayers = {256, 128, 64};
+};
+
+/** A batch of (user, item) pairs to score. */
+struct NcfInput
+{
+    std::vector<int64_t> userIds;
+    std::vector<int64_t> itemIds;
+};
+
+/**
+ * NeuMF: sigmoid(W_final * [gmf_user ⊙ gmf_item ; MLP([u; i])]).
+ */
+class NcfModel
+{
+  public:
+    NcfModel(const NcfConfig &config, Rng &rng);
+
+    const NcfConfig &config() const { return config_; }
+
+    /** Predicted interaction probabilities, shape [batch, 1]. */
+    Tensor forward(const NcfInput &input) const;
+
+    /** Draw random user/item pairs. */
+    NcfInput randomInput(int64_t batch, Rng &rng) const;
+
+    int64_t paramCount() const;
+
+  private:
+    NcfConfig config_;
+    EmbeddingTable gmf_user_;
+    EmbeddingTable gmf_item_;
+    EmbeddingTable mlp_user_;
+    EmbeddingTable mlp_item_;
+    std::vector<FullyConnected> mlp_;
+    FullyConnected final_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_MODEL_NCF_HH

@@ -1,0 +1,82 @@
+#include "model/proxy.hh"
+
+#include "ops/fully_connected.hh"
+
+namespace recperf {
+
+OpCost
+ProxyModel::cost(int64_t batch) const
+{
+    OpCost c;
+    double b = static_cast<double>(batch);
+    c.flops = flopsPerSample * b;
+    // Parameters are read once per batch; activations scale per sample.
+    c.bytesRead = paramBytes + actBytesPerSample * b;
+    c.bytesWritten = actBytesPerSample * b;
+    return c;
+}
+
+std::vector<ProxyModel>
+proxyModels()
+{
+    // FLOPs and parameter totals from the original publications
+    // (2 FLOPs per MAC); activation traffic is a coarse estimate.
+    std::vector<ProxyModel> models;
+
+    models.push_back({"ResNet50", 4.1e9, 25.5e6 * 4, 30e6,
+                      {{OpKind::Conv, 0.93}, {OpKind::FC, 0.02},
+                       {OpKind::Activation, 0.03}, {OpKind::Other, 0.02}}});
+    models.push_back({"VGG16", 30.8e9, 138e6 * 4, 60e6,
+                      {{OpKind::Conv, 0.90}, {OpKind::FC, 0.08},
+                       {OpKind::Activation, 0.01}, {OpKind::Other, 0.01}}});
+    models.push_back({"GoogLeNet", 3.0e9, 6.8e6 * 4, 25e6,
+                      {{OpKind::Conv, 0.90}, {OpKind::FC, 0.02},
+                       {OpKind::Concat, 0.03}, {OpKind::Activation, 0.03},
+                       {OpKind::Other, 0.02}}});
+    models.push_back({"DeepSpeech2", 5.0e9, 38e6 * 4, 20e6,
+                      {{OpKind::Recurrent, 0.70}, {OpKind::Conv, 0.20},
+                       {OpKind::FC, 0.05}, {OpKind::Activation, 0.05}}});
+    models.push_back({"GNMT", 17.0e9, 210e6 * 4, 40e6,
+                      {{OpKind::Recurrent, 0.85}, {OpKind::FC, 0.10},
+                       {OpKind::Activation, 0.03}, {OpKind::Other, 0.02}}});
+    return models;
+}
+
+OpCost
+convLayerCost(int64_t batch)
+{
+    // 3x3 conv, 256 -> 256 channels, 14x14 output (a ResNet-50 stage-4
+    // layer). FLOPs = 2 * K^2 * Cin * Cout * H * W per sample.
+    const double k2 = 9.0, cin = 256.0, cout = 256.0, hw = 14.0 * 14.0;
+    const double b = static_cast<double>(batch);
+    OpCost c;
+    c.flops = 2.0 * k2 * cin * cout * hw * b;
+    double weight_bytes = k2 * cin * cout * 4.0;
+    double act_bytes = hw * (cin + cout) * 4.0 * b;
+    c.bytesRead = weight_bytes + act_bytes / 2.0 + act_bytes / 2.0;
+    c.bytesWritten = hw * cout * 4.0 * b;
+    return c;
+}
+
+OpCost
+lstmLayerCost(int64_t batch)
+{
+    // One timestep of an LSTM cell with hidden = input = 1024: four
+    // gates, each a (h+i) x h GEMM. Weights are re-read every step.
+    const double h = 1024.0, in = 1024.0;
+    const double b = static_cast<double>(batch);
+    OpCost c;
+    c.flops = 2.0 * 4.0 * h * (h + in) * b + 8.0 * h * b;
+    c.bytesRead = 4.0 * h * (h + in) * 4.0 + (h + in) * 4.0 * b;
+    c.bytesWritten = h * 4.0 * b;
+    return c;
+}
+
+OpCost
+fcLayerCost(int64_t batch)
+{
+    // ResNet-50 classifier: 2048 -> 1000.
+    return FullyConnected::cost(batch, 2048, 1000);
+}
+
+} // namespace recperf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Proxy descriptions of non-recommendation DNNs.
+ *
+ * The paper positions recommendation models against well-known CNNs and
+ * RNNs (Fig 2: FLOPs vs bytes; Fig 4: fleet operator breakdown; Fig 5:
+ * per-operator compute intensity and MPKI). These proxies capture the
+ * published arithmetic/parameter totals of those networks plus the
+ * canonical single layers (ResNet-50 conv and FC, NLP LSTM) used in
+ * Fig 5's operator comparison.
+ */
+
+#ifndef RECPERF_MODEL_PROXY_HH
+#define RECPERF_MODEL_PROXY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/op_cost.hh"
+
+namespace recperf {
+
+/** Coarse description of a non-recommendation DNN. */
+struct ProxyModel
+{
+    std::string name;
+    double flopsPerSample = 0.0;     ///< forward FLOPs per input sample
+    double paramBytes = 0.0;         ///< fp32 parameter footprint
+    double actBytesPerSample = 0.0;  ///< activation traffic per sample
+    /** Approximate fraction of runtime per operator kind. */
+    std::map<OpKind, double> opShare;
+
+    /** Aggregate cost of one batched inference. */
+    OpCost cost(int64_t batch) const;
+};
+
+/** GNMT, VGG16, DeepSpeech2, ResNet50, GoogLeNet — the Fig 2 set. */
+std::vector<ProxyModel> proxyModels();
+
+/** A representative ResNet-50 3x3 conv layer (256ch, 14x14). */
+OpCost convLayerCost(int64_t batch);
+
+/** One timestep of a 1024-wide NLP LSTM cell. */
+OpCost lstmLayerCost(int64_t batch);
+
+/** The ResNet-50 classifier FC (2048 -> 1000). */
+OpCost fcLayerCost(int64_t batch);
+
+} // namespace recperf
+
+#endif // RECPERF_MODEL_PROXY_HH

@@ -1,0 +1,109 @@
+#include "ops/conv.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace recperf {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding)
+    : in_ch_(in_channels), out_ch_(out_channels), kernel_(kernel),
+      stride_(stride), padding_(padding),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels})
+{
+    RP_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0,
+              "conv dims must be positive");
+    RP_ASSERT(stride > 0 && padding >= 0, "bad stride/padding");
+}
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng &rng)
+    : Conv2d(in_channels, out_channels, kernel, stride, padding)
+{
+    float fan_in = static_cast<float>(in_channels * kernel * kernel);
+    weight_.fillGaussian(rng, std::sqrt(2.0f / fan_in));
+}
+
+int64_t
+Conv2d::outSize(int64_t in) const
+{
+    int64_t padded = in + 2 * padding_ - kernel_;
+    RP_ASSERT(padded >= 0, "kernel %lld larger than padded input %lld",
+              static_cast<long long>(kernel_),
+              static_cast<long long>(in + 2 * padding_));
+    return padded / stride_ + 1;
+}
+
+Tensor
+Conv2d::forward(const Tensor &x) const
+{
+    RP_ASSERT(x.rank() == 4, "conv input must be rank 4, got %s",
+              shapeToString(x.shape()).c_str());
+    RP_ASSERT(x.dim(1) == in_ch_, "conv input channels %lld != %lld",
+              static_cast<long long>(x.dim(1)),
+              static_cast<long long>(in_ch_));
+
+    const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    const int64_t oh = outSize(h), ow = outSize(w);
+    Tensor y({n, out_ch_, oh, ow});
+
+    for (int64_t img = 0; img < n; ++img) {
+        for (int64_t oc = 0; oc < out_ch_; ++oc) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double acc = bias_.at(oc);
+                    for (int64_t ic = 0; ic < in_ch_; ++ic) {
+                        for (int64_t ky = 0; ky < kernel_; ++ky) {
+                            int64_t iy = oy * stride_ + ky - padding_;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int64_t kx = 0; kx < kernel_; ++kx) {
+                                int64_t ix = ox * stride_ + kx - padding_;
+                                if (ix < 0 || ix >= w)
+                                    continue;
+                                double in_val = x.data()[
+                                    ((img * in_ch_ + ic) * h + iy) * w +
+                                    ix];
+                                double w_val = weight_.data()[
+                                    ((oc * in_ch_ + ic) * kernel_ + ky) *
+                                        kernel_ + kx];
+                                acc += in_val * w_val;
+                            }
+                        }
+                    }
+                    y.data()[((img * out_ch_ + oc) * oh + oy) * ow + ox] =
+                        static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return y;
+}
+
+int64_t
+Conv2d::paramCount() const
+{
+    return out_ch_ * in_ch_ * kernel_ * kernel_ + out_ch_;
+}
+
+OpCost
+Conv2d::cost(int64_t batch, int64_t in_ch, int64_t out_ch, int64_t kernel,
+             int64_t out_h, int64_t out_w)
+{
+    OpCost c;
+    double macs = static_cast<double>(batch) * out_ch * out_h * out_w *
+        in_ch * kernel * kernel;
+    c.flops = 2.0 * macs;
+    c.bytesRead = 4.0 * (static_cast<double>(out_ch) * in_ch * kernel *
+                             kernel +
+                         static_cast<double>(batch) * in_ch * out_h *
+                             out_w);
+    c.bytesWritten = 4.0 * static_cast<double>(batch) * out_ch * out_h *
+        out_w;
+    return c;
+}
+
+} // namespace recperf

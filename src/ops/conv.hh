@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 2-D convolution (NCHW) — the canonical CNN operator.
+ *
+ * The paper contrasts recommendation operators against CNN layers
+ * throughout (Figs 2, 4, 5). This is a functional direct convolution
+ * used by the proxy baselines and the operator-comparison tests; its
+ * cost function backs the Fig 5 intensity numbers.
+ */
+
+#ifndef RECPERF_OPS_CONV_HH
+#define RECPERF_OPS_CONV_HH
+
+#include <cstdint>
+
+#include "ops/op_cost.hh"
+#include "tensor/tensor.hh"
+
+namespace recperf {
+
+class Rng;
+
+/**
+ * A conv2d layer with square kernels, configurable stride and
+ * symmetric zero padding. Layout is NCHW; weights are
+ * [out_ch, in_ch, k, k].
+ */
+class Conv2d
+{
+  public:
+    Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+           int64_t stride = 1, int64_t padding = 0);
+
+    /** He-initialized variant. */
+    Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+           int64_t stride, int64_t padding, Rng &rng);
+
+    int64_t inChannels() const { return in_ch_; }
+    int64_t outChannels() const { return out_ch_; }
+    int64_t kernel() const { return kernel_; }
+    int64_t stride() const { return stride_; }
+    int64_t padding() const { return padding_; }
+
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+
+    /** Spatial output size for an input of extent @p in. */
+    int64_t outSize(int64_t in) const;
+
+    /**
+     * Forward pass.
+     * @param x input of shape [n, in_ch, h, w].
+     * @return output of shape [n, out_ch, outSize(h), outSize(w)].
+     */
+    Tensor forward(const Tensor &x) const;
+
+    int64_t paramCount() const;
+
+    /** Work accounting for one forward pass. */
+    static OpCost cost(int64_t batch, int64_t in_ch, int64_t out_ch,
+                       int64_t kernel, int64_t out_h, int64_t out_w);
+
+  private:
+    int64_t in_ch_;
+    int64_t out_ch_;
+    int64_t kernel_;
+    int64_t stride_;
+    int64_t padding_;
+    Tensor weight_;
+    Tensor bias_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_OPS_CONV_HH

@@ -1,0 +1,138 @@
+#include "ops/half.hh"
+
+#include <cstring>
+#include <numeric>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+uint16_t
+floatToHalf(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    const int32_t exponent =
+        static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
+    uint32_t mantissa = bits & 0x7fffffu;
+
+    if (exponent >= 0x1f) {
+        // Overflow to infinity; preserve NaN payload presence.
+        if (((bits >> 23) & 0xff) == 0xff && mantissa != 0)
+            return static_cast<uint16_t>(sign | 0x7e00u); // quiet NaN
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+    if (exponent <= 0) {
+        // Subnormal half (or zero). Shift in the implicit leading 1.
+        if (exponent < -10)
+            return static_cast<uint16_t>(sign); // underflow to zero
+        mantissa |= 0x800000u;
+        uint32_t shift = static_cast<uint32_t>(14 - exponent);
+        uint32_t half_mant = mantissa >> shift;
+        // Round to nearest even.
+        uint32_t rem = mantissa & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            ++half_mant;
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+
+    // Normal number: round mantissa from 23 to 10 bits, nearest even.
+    uint32_t half_mant = mantissa >> 13;
+    uint32_t rem = mantissa & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1)))
+        ++half_mant;
+    // The + (not |) lets mantissa rounding overflow carry into the
+    // exponent, which is exactly the IEEE behaviour.
+    uint32_t result =
+        sign | ((static_cast<uint32_t>(exponent) << 10) + half_mant);
+    return static_cast<uint16_t>(result);
+}
+
+float
+halfToFloat(uint16_t bits)
+{
+    const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    const uint32_t exponent = (bits >> 10) & 0x1fu;
+    uint32_t mantissa = bits & 0x3ffu;
+
+    uint32_t out;
+    if (exponent == 0) {
+        if (mantissa == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: normalize.
+            int shift = 0;
+            while ((mantissa & 0x400u) == 0) {
+                mantissa <<= 1;
+                ++shift;
+            }
+            mantissa &= 0x3ffu;
+            // Subnormal value = mant * 2^-24; after normalizing by
+            // `shift` the exponent is 2^(-15 - shift + 1).
+            uint32_t exp32 = static_cast<uint32_t>(127 - 14 - shift);
+            out = sign | (exp32 << 23) | (mantissa << 13);
+        }
+    } else if (exponent == 0x1f) {
+        out = sign | 0x7f800000u | (mantissa << 13); // inf / NaN
+    } else {
+        uint32_t exp32 = exponent - 15 + 127;
+        out = sign | (exp32 << 23) | (mantissa << 13);
+    }
+    float value;
+    std::memcpy(&value, &out, sizeof(value));
+    return value;
+}
+
+HalfEmbeddingTable::HalfEmbeddingTable(const EmbeddingTable &source)
+    : rows_(source.rows()), dim_(source.dim())
+{
+    data_.resize(static_cast<size_t>(rows_ * dim_));
+    const float *src = source.table().data();
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] = floatToHalf(src[i]);
+}
+
+void
+HalfEmbeddingTable::expandRow(int64_t row, float *out) const
+{
+    RP_ASSERT(row >= 0 && row < rows_, "row %lld out of %lld",
+              static_cast<long long>(row), static_cast<long long>(rows_));
+    const uint16_t *src = data_.data() + row * dim_;
+    for (int64_t c = 0; c < dim_; ++c)
+        out[c] = halfToFloat(src[c]);
+}
+
+Tensor
+HalfEmbeddingTable::forward(const std::vector<int64_t> &ids,
+                            const std::vector<int64_t> &lengths,
+                            SlsReduction reduction) const
+{
+    int64_t total = std::accumulate(lengths.begin(), lengths.end(),
+                                    static_cast<int64_t>(0));
+    RP_ASSERT(total == static_cast<int64_t>(ids.size()),
+              "sum(lengths)=%lld != ids.size()=%zu",
+              static_cast<long long>(total), ids.size());
+
+    Tensor out({static_cast<int64_t>(lengths.size()), dim_});
+    std::vector<float> row(static_cast<size_t>(dim_));
+    size_t cursor = 0;
+    for (size_t slot = 0; slot < lengths.size(); ++slot) {
+        float *dst = out.data() + static_cast<int64_t>(slot) * dim_;
+        for (int64_t j = 0; j < lengths[slot]; ++j) {
+            expandRow(ids[cursor++], row.data());
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] += row[static_cast<size_t>(c)];
+        }
+        if (reduction == SlsReduction::Mean && lengths[slot] > 0) {
+            float inv = 1.0f / static_cast<float>(lengths[slot]);
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] *= inv;
+        }
+    }
+    return out;
+}
+
+} // namespace recperf

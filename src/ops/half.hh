@@ -1,0 +1,59 @@
+/**
+ * @file
+ * IEEE 754 binary16 (half precision) conversion and fp16 embedding
+ * tables.
+ *
+ * Half-precision embedding storage halves table capacity and the cache
+ * lines touched per gather, with ~3 decimal digits of precision — the
+ * milder sibling of the int8 row-wise scheme (§VIII compression).
+ */
+
+#ifndef RECPERF_OPS_HALF_HH
+#define RECPERF_OPS_HALF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/sparse_lengths_sum.hh"
+#include "tensor/tensor.hh"
+
+namespace recperf {
+
+/** Convert fp32 to binary16 (round-to-nearest-even, handles subnormals,
+ *  infinities and NaN). */
+uint16_t floatToHalf(float value);
+
+/** Convert binary16 to fp32 (exact). */
+float halfToFloat(uint16_t bits);
+
+/**
+ * An embedding table stored in binary16.
+ */
+class HalfEmbeddingTable
+{
+  public:
+    /** Convert an fp32 table. */
+    explicit HalfEmbeddingTable(const EmbeddingTable &source);
+
+    int64_t rows() const { return rows_; }
+    int64_t dim() const { return dim_; }
+    int64_t rowBytes() const { return dim_ * 2; }
+    int64_t storageBytes() const { return rows_ * rowBytes(); }
+
+    /** Dequantize one row into @p out (length dim()). */
+    void expandRow(int64_t row, float *out) const;
+
+    /** Pooled lookup (SparseLengthsSum semantics) in fp32 accumulation. */
+    Tensor forward(const std::vector<int64_t> &ids,
+                   const std::vector<int64_t> &lengths,
+                   SlsReduction reduction = SlsReduction::Sum) const;
+
+  private:
+    int64_t rows_;
+    int64_t dim_;
+    std::vector<uint16_t> data_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_OPS_HALF_HH

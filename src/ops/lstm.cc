@@ -1,0 +1,118 @@
+#include "ops/lstm.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace recperf {
+
+namespace {
+
+float
+sigmoidScalar(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size)
+    : input_(input_size), hidden_(hidden_size),
+      w_(input_size, 4 * hidden_size), u_(hidden_size, 4 * hidden_size)
+{
+    RP_ASSERT(input_size > 0 && hidden_size > 0,
+              "LSTM dims must be positive");
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng &rng)
+    : LstmCell(input_size, hidden_size)
+{
+    float scale = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+    w_.weight().fillUniform(rng, -scale, scale);
+    u_.weight().fillUniform(rng, -scale, scale);
+    // Standard trick: positive forget-gate bias stabilizes early state.
+    for (int64_t j = 0; j < hidden_; ++j)
+        w_.bias().at(hidden_ + j) = 1.0f;
+}
+
+LstmState
+LstmCell::initialState(int64_t batch) const
+{
+    return {Tensor({batch, hidden_}), Tensor({batch, hidden_})};
+}
+
+LstmState
+LstmCell::forward(const Tensor &x, const LstmState &state) const
+{
+    RP_ASSERT(x.rank() == 2 && x.dim(1) == input_,
+              "LSTM input shape %s mismatches input size %lld",
+              shapeToString(x.shape()).c_str(),
+              static_cast<long long>(input_));
+    int64_t batch = x.dim(0);
+    RP_ASSERT(state.h.dim(0) == batch && state.c.dim(0) == batch,
+              "LSTM state batch mismatch");
+
+    // Fused gate pre-activations: [i; f; g; o] per sample.
+    Tensor gates = w_.forward(x);
+    Tensor recur = u_.forward(state.h);
+    for (int64_t i = 0; i < gates.size(); ++i)
+        gates.data()[i] += recur.data()[i];
+
+    LstmState next = initialState(batch);
+    for (int64_t b = 0; b < batch; ++b) {
+        const float *g = gates.data() + b * 4 * hidden_;
+        const float *c_prev = state.c.data() + b * hidden_;
+        float *c_next = next.c.data() + b * hidden_;
+        float *h_next = next.h.data() + b * hidden_;
+        for (int64_t j = 0; j < hidden_; ++j) {
+            float in_gate = sigmoidScalar(g[j]);
+            float forget = sigmoidScalar(g[hidden_ + j]);
+            float cand = std::tanh(g[2 * hidden_ + j]);
+            float out_gate = sigmoidScalar(g[3 * hidden_ + j]);
+            c_next[j] = forget * c_prev[j] + in_gate * cand;
+            h_next[j] = out_gate * std::tanh(c_next[j]);
+        }
+    }
+    return next;
+}
+
+LstmState
+LstmCell::forwardSequence(const Tensor &xs, LstmState state) const
+{
+    RP_ASSERT(xs.rank() == 3 && xs.dim(2) == input_,
+              "sequence shape %s mismatches input size %lld",
+              shapeToString(xs.shape()).c_str(),
+              static_cast<long long>(input_));
+    int64_t seq = xs.dim(0), batch = xs.dim(1);
+    for (int64_t t = 0; t < seq; ++t) {
+        Tensor x({batch, input_});
+        std::memcpy(x.data(), xs.data() + t * batch * input_,
+                    static_cast<size_t>(batch * input_) * sizeof(float));
+        state = forward(x, state);
+    }
+    return state;
+}
+
+int64_t
+LstmCell::paramCount() const
+{
+    return w_.paramCount() + u_.paramCount();
+}
+
+OpCost
+LstmCell::cost(int64_t batch, int64_t input_size, int64_t hidden_size)
+{
+    OpCost c = FullyConnected::cost(batch, input_size, 4 * hidden_size);
+    c += FullyConnected::cost(batch, hidden_size, 4 * hidden_size);
+    // Element-wise gate math: ~8 ops per hidden unit.
+    c.flops += 8.0 * static_cast<double>(batch) *
+        static_cast<double>(hidden_size);
+    c.bytesRead += 8.0 * static_cast<double>(batch) *
+        static_cast<double>(hidden_size);
+    c.bytesWritten += 8.0 * static_cast<double>(batch) *
+        static_cast<double>(hidden_size);
+    return c;
+}
+
+} // namespace recperf

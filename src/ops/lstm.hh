@@ -1,0 +1,75 @@
+/**
+ * @file
+ * LSTM cell — the canonical RNN operator.
+ *
+ * Backs the recurrent baselines the paper compares against (GNMT,
+ * DeepSpeech2 in Figs 2, 4, 5). Standard formulation with fused gate
+ * weights: [i; f; g; o] = W x + U h + b.
+ */
+
+#ifndef RECPERF_OPS_LSTM_HH
+#define RECPERF_OPS_LSTM_HH
+
+#include <cstdint>
+
+#include "ops/fully_connected.hh"
+#include "ops/op_cost.hh"
+#include "tensor/tensor.hh"
+
+namespace recperf {
+
+class Rng;
+
+/** Hidden and cell state of one LSTM layer. */
+struct LstmState
+{
+    Tensor h; ///< [batch, hidden]
+    Tensor c; ///< [batch, hidden]
+};
+
+/**
+ * One LSTM cell with fused input/recurrent gate weights.
+ */
+class LstmCell
+{
+  public:
+    LstmCell(int64_t input_size, int64_t hidden_size);
+    LstmCell(int64_t input_size, int64_t hidden_size, Rng &rng);
+
+    int64_t inputSize() const { return input_; }
+    int64_t hiddenSize() const { return hidden_; }
+
+    /** Zeroed state for a batch. */
+    LstmState initialState(int64_t batch) const;
+
+    /**
+     * One timestep.
+     * @param x input of shape [batch, input_size].
+     * @param state previous (h, c); batch must match.
+     * @return next (h, c).
+     */
+    LstmState forward(const Tensor &x, const LstmState &state) const;
+
+    /** Process a sequence [seq, batch, input]; returns the final state. */
+    LstmState forwardSequence(const Tensor &xs, LstmState state) const;
+
+    /** Gate parameter blocks (test hooks). */
+    FullyConnected &inputGates() { return w_; }
+    FullyConnected &recurrentGates() { return u_; }
+
+    int64_t paramCount() const;
+
+    /** Work accounting for one timestep. */
+    static OpCost cost(int64_t batch, int64_t input_size,
+                       int64_t hidden_size);
+
+  private:
+    int64_t input_;
+    int64_t hidden_;
+    FullyConnected w_; ///< [4h, input] + bias
+    FullyConnected u_; ///< [4h, hidden], bias unused (fused into w_)
+};
+
+} // namespace recperf
+
+#endif // RECPERF_OPS_LSTM_HH

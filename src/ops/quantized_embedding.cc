@@ -1,0 +1,107 @@
+#include "ops/quantized_embedding.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+QuantizedEmbeddingTable::QuantizedEmbeddingTable(const EmbeddingTable &source)
+    : rows_(source.rows()), dim_(source.dim())
+{
+    codes_.resize(static_cast<size_t>(rows_ * dim_));
+    scales_.resize(static_cast<size_t>(rows_));
+    biases_.resize(static_cast<size_t>(rows_));
+
+    const Tensor &table = source.table();
+    for (int64_t r = 0; r < rows_; ++r) {
+        const float *row = table.data() + r * dim_;
+        float lo = row[0], hi = row[0];
+        for (int64_t c = 1; c < dim_; ++c) {
+            lo = std::min(lo, row[c]);
+            hi = std::max(hi, row[c]);
+        }
+        float scale = (hi - lo) / 255.0f;
+        if (scale == 0.0f)
+            scale = 1.0f; // constant row; all codes become 0
+        scales_[static_cast<size_t>(r)] = scale;
+        biases_[static_cast<size_t>(r)] = lo;
+        for (int64_t c = 0; c < dim_; ++c) {
+            float q = std::round((row[c] - lo) / scale);
+            q = std::clamp(q, 0.0f, 255.0f);
+            codes_[static_cast<size_t>(r * dim_ + c)] =
+                static_cast<uint8_t>(q);
+        }
+    }
+}
+
+void
+QuantizedEmbeddingTable::dequantizeRow(int64_t row, float *out) const
+{
+    RP_ASSERT(row >= 0 && row < rows_, "row %lld out of %lld",
+              static_cast<long long>(row), static_cast<long long>(rows_));
+    float scale = scales_[static_cast<size_t>(row)];
+    float bias = biases_[static_cast<size_t>(row)];
+    const uint8_t *codes = codes_.data() + row * dim_;
+    for (int64_t c = 0; c < dim_; ++c)
+        out[c] = static_cast<float>(codes[c]) * scale + bias;
+}
+
+Tensor
+QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
+                                 const std::vector<int64_t> &lengths,
+                                 SlsReduction reduction) const
+{
+    int64_t total = std::accumulate(lengths.begin(), lengths.end(),
+                                    static_cast<int64_t>(0));
+    RP_ASSERT(total == static_cast<int64_t>(ids.size()),
+              "sum(lengths)=%lld != ids.size()=%zu",
+              static_cast<long long>(total), ids.size());
+
+    Tensor out({static_cast<int64_t>(lengths.size()), dim_});
+    std::vector<float> row(static_cast<size_t>(dim_));
+    size_t cursor = 0;
+    for (size_t slot = 0; slot < lengths.size(); ++slot) {
+        float *dst = out.data() + static_cast<int64_t>(slot) * dim_;
+        for (int64_t j = 0; j < lengths[slot]; ++j) {
+            dequantizeRow(ids[cursor++], row.data());
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] += row[static_cast<size_t>(c)];
+        }
+        if (reduction == SlsReduction::Mean && lengths[slot] > 0) {
+            float inv = 1.0f / static_cast<float>(lengths[slot]);
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] *= inv;
+        }
+    }
+    return out;
+}
+
+float
+QuantizedEmbeddingTable::maxQuantizationStep() const
+{
+    float widest = 0.0f;
+    for (float s : scales_)
+        widest = std::max(widest, s);
+    return widest;
+}
+
+OpCost
+QuantizedEmbeddingTable::cost(int64_t total_ids, int64_t outputs,
+                              int64_t dim)
+{
+    OpCost c;
+    // Dequantize (mul+add) then accumulate: 3 flops per element.
+    c.flops = 3.0 * static_cast<double>(total_ids) *
+        static_cast<double>(dim);
+    c.bytesRead = static_cast<double>(total_ids) *
+            (static_cast<double>(dim) + 8.0) +
+        static_cast<double>(total_ids) * sizeof(int64_t);
+    c.bytesWritten = static_cast<double>(outputs) *
+        static_cast<double>(dim) * sizeof(float);
+    return c;
+}
+
+} // namespace recperf

@@ -1,0 +1,75 @@
+#include "ops/sparse_lengths_sum.hh"
+
+#include <numeric>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace recperf {
+
+EmbeddingTable::EmbeddingTable(int64_t rows, int64_t dim)
+    : rows_(rows), dim_(dim), table_({rows, dim})
+{
+    RP_ASSERT(rows > 0 && dim > 0,
+              "embedding table dims must be positive, got %lld x %lld",
+              static_cast<long long>(rows), static_cast<long long>(dim));
+}
+
+EmbeddingTable::EmbeddingTable(int64_t rows, int64_t dim, Rng &rng)
+    : EmbeddingTable(rows, dim)
+{
+    float scale = 1.0f / static_cast<float>(dim);
+    table_.fillUniform(rng, -0.5f * scale, 0.5f * scale);
+}
+
+Tensor
+EmbeddingTable::forward(const std::vector<int64_t> &ids,
+                        const std::vector<int64_t> &lengths,
+                        SlsReduction reduction) const
+{
+    int64_t total = std::accumulate(lengths.begin(), lengths.end(),
+                                    static_cast<int64_t>(0));
+    RP_ASSERT(total == static_cast<int64_t>(ids.size()),
+              "sum(lengths)=%lld != ids.size()=%zu",
+              static_cast<long long>(total), ids.size());
+
+    Tensor out({static_cast<int64_t>(lengths.size()), dim_});
+    size_t cursor = 0;
+    for (size_t slot = 0; slot < lengths.size(); ++slot) {
+        RP_ASSERT(lengths[slot] >= 0, "negative length at slot %zu", slot);
+        float *dst = out.data() + static_cast<int64_t>(slot) * dim_;
+        for (int64_t j = 0; j < lengths[slot]; ++j) {
+            int64_t id = ids[cursor++];
+            RP_ASSERT(id >= 0 && id < rows_,
+                      "sparse ID %lld out of table rows %lld",
+                      static_cast<long long>(id),
+                      static_cast<long long>(rows_));
+            const float *src = table_.data() + id * dim_;
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] += src[c];
+        }
+        if (reduction == SlsReduction::Mean && lengths[slot] > 0) {
+            float inv = 1.0f / static_cast<float>(lengths[slot]);
+            for (int64_t c = 0; c < dim_; ++c)
+                dst[c] *= inv;
+        }
+    }
+    return out;
+}
+
+OpCost
+EmbeddingTable::cost(int64_t total_ids, int64_t outputs, int64_t dim)
+{
+    OpCost c;
+    // One add per gathered element; negligible extra for Mean's scale.
+    c.flops = static_cast<double>(total_ids) * static_cast<double>(dim);
+    // Each gathered row is read from the table; IDs themselves are 8 B.
+    c.bytesRead = static_cast<double>(total_ids) *
+            static_cast<double>(dim) * sizeof(float) +
+        static_cast<double>(total_ids) * sizeof(int64_t);
+    c.bytesWritten = static_cast<double>(outputs) *
+        static_cast<double>(dim) * sizeof(float);
+    return c;
+}
+
+} // namespace recperf

@@ -1,0 +1,152 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+#include "timing/colocation.hh"
+
+namespace recperf {
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::TypeOblivious: return "type-oblivious";
+      case PlacementPolicy::ModelAware: return "model-aware";
+    }
+    return "unknown";
+}
+
+double
+Placement::servedFraction() const
+{
+    return demandItemsPerSec > 0.0 ? servedItemsPerSec / demandItemsPerSec
+                                   : 0.0;
+}
+
+HeterogeneousScheduler::HeterogeneousScheduler(
+    std::vector<MachinePool> pools, uint32_t tenants_per_socket)
+    : pools_(std::move(pools)), tenants_per_socket_(tenants_per_socket)
+{
+    RP_ASSERT(!pools_.empty(), "scheduler needs at least one pool");
+    RP_ASSERT(tenants_per_socket_ >= 1, "need at least one tenant");
+}
+
+double
+HeterogeneousScheduler::machineRate(size_t pool,
+                                    const Workload &workload) const
+{
+    RP_ASSERT(pool < pools_.size(), "pool %zu out of %zu", pool,
+              pools_.size());
+    const MachineSpec &spec = pools_[pool].spec;
+
+    TimerOptions opts;
+    opts.batch = workload.batch;
+    ColocationSim sim(spec, workload.config, opts, tenants_per_socket_);
+    ColocationResult r = sim.run(8, 5);
+
+    double latency = r.meanLatency();
+    if (latency > workload.slaSeconds)
+        return 0.0;
+    // All sockets run the same co-location pattern.
+    double per_socket = static_cast<double>(tenants_per_socket_) *
+        static_cast<double>(workload.batch) / latency;
+    return per_socket * spec.sockets;
+}
+
+Placement
+HeterogeneousScheduler::place(const std::vector<Workload> &workloads,
+                              PlacementPolicy policy) const
+{
+    RP_ASSERT(!workloads.empty(), "nothing to place");
+
+    // Rate matrix: items/s per machine for every (pool, workload).
+    std::vector<std::vector<double>> rate(pools_.size());
+    for (size_t p = 0; p < pools_.size(); ++p) {
+        for (const Workload &w : workloads)
+            rate[p].push_back(machineRate(p, w));
+    }
+
+    Placement placement;
+    for (const Workload &w : workloads)
+        placement.demandItemsPerSec += w.demandItemsPerSec;
+
+    std::vector<uint32_t> free_machines;
+    for (const MachinePool &pool : pools_)
+        free_machines.push_back(pool.machines);
+    std::vector<double> unmet;
+    for (const Workload &w : workloads)
+        unmet.push_back(w.demandItemsPerSec);
+
+    auto allocate = [&](size_t p, size_t w, uint32_t count) {
+        if (count == 0)
+            return;
+        // Machines are consumed even when they serve nothing (rate 0):
+        // a type-oblivious scheduler does not know any better.
+        free_machines[p] -= count;
+        placement.allocations.push_back({p, w, count, rate[p][w]});
+        double served = std::min(unmet[w],
+                                 rate[p][w] * static_cast<double>(count));
+        placement.servedItemsPerSec += served;
+        unmet[w] -= served;
+    };
+
+    if (policy == PlacementPolicy::TypeOblivious) {
+        // Deal machines out one at a time to the workload with the most
+        // unmet demand, ignoring machine type entirely.
+        for (size_t p = 0; p < pools_.size(); ++p) {
+            while (free_machines[p] > 0) {
+                size_t needy = 0;
+                for (size_t w = 1; w < workloads.size(); ++w) {
+                    if (unmet[w] > unmet[needy])
+                        needy = w;
+                }
+                if (unmet[needy] <= 0.0)
+                    break;
+                allocate(p, needy, 1);
+            }
+        }
+    } else {
+        // Model-aware, scarcity first: workloads that few machine
+        // types can serve (e.g. a tight SLA only one generation meets)
+        // claim their machines before flexible workloads consume them.
+        std::vector<size_t> order(workloads.size());
+        for (size_t w = 0; w < order.size(); ++w)
+            order[w] = w;
+        auto feasible_pools = [&](size_t w) {
+            size_t n = 0;
+            for (size_t p = 0; p < pools_.size(); ++p)
+                n += rate[p][w] > 0.0 ? 1 : 0;
+            return n;
+        };
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return feasible_pools(a) < feasible_pools(b);
+                         });
+
+        for (size_t w : order) {
+            while (unmet[w] > 0.0) {
+                // Best remaining pool for this workload.
+                size_t best_p = pools_.size();
+                for (size_t p = 0; p < pools_.size(); ++p) {
+                    if (free_machines[p] == 0 || rate[p][w] <= 0.0)
+                        continue;
+                    if (best_p == pools_.size() ||
+                        rate[p][w] > rate[best_p][w]) {
+                        best_p = p;
+                    }
+                }
+                if (best_p == pools_.size())
+                    break;
+                auto needed = static_cast<uint32_t>(std::min<double>(
+                    free_machines[best_p],
+                    std::ceil(unmet[w] / rate[best_p][w])));
+                allocate(best_p, w, std::max(1u, needed));
+            }
+        }
+    }
+    return placement;
+}
+
+} // namespace recperf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Heterogeneity-aware placement of recommendation inference.
+ *
+ * The paper's system-level insight: data centers hold a mix of
+ * Haswell/Broadwell/Skylake servers, and the optimal platform depends
+ * on the model class and operating point (latency-critical filtering
+ * favours Broadwell; batched, co-located throughput favours Skylake —
+ * Takeaways 3, 4, 7). The scheduler assigns machines from heterogeneous
+ * pools to workload streams, either blindly (type-oblivious) or using
+ * the timing model's predictions, and reports the achievable
+ * SLA-bounded throughput of each policy.
+ */
+
+#ifndef RECPERF_SCHED_SCHEDULER_HH
+#define RECPERF_SCHED_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_spec.hh"
+#include "model/config.hh"
+#include "timing/model_timer.hh"
+
+namespace recperf {
+
+/** A pool of identical machines. */
+struct MachinePool
+{
+    MachineSpec spec;
+    uint32_t machines = 0;
+};
+
+/** A workload stream: one model served at one operating point. */
+struct Workload
+{
+    ModelConfig config;
+    int64_t batch = 32;
+    double slaSeconds = 0.450;
+    /** Items/s the service must rank; demand beyond capacity is lost. */
+    double demandItemsPerSec = 0.0;
+};
+
+/** How machines are matched to workloads. */
+enum class PlacementPolicy
+{
+    /** Type-oblivious: machines are dealt out round-robin. */
+    TypeOblivious,
+    /** Model-aware: greedily match pools to the workloads they serve
+     *  best (items/s under SLA, as predicted by the timing model). */
+    ModelAware,
+};
+
+/** Display name, e.g. "model-aware". */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** One (pool, workload) allocation decision. */
+struct Allocation
+{
+    size_t poolIndex = 0;
+    size_t workloadIndex = 0;
+    uint32_t machines = 0;
+    double itemsPerSecPerMachine = 0.0;
+};
+
+/** The outcome of placing all workloads. */
+struct Placement
+{
+    std::vector<Allocation> allocations;
+    /** Items/s served within SLA, summed over workloads (capped by
+     *  demand). */
+    double servedItemsPerSec = 0.0;
+    /** Total demand across workloads. */
+    double demandItemsPerSec = 0.0;
+
+    double servedFraction() const;
+};
+
+/**
+ * Places heterogeneous machine pools against workload streams.
+ */
+class HeterogeneousScheduler
+{
+  public:
+    /**
+     * @param tenants_per_socket co-located instances assumed per
+     *        socket when estimating machine capacity.
+     */
+    explicit HeterogeneousScheduler(std::vector<MachinePool> pools,
+                                    uint32_t tenants_per_socket = 8);
+
+    /**
+     * Items/s (within SLA) one machine of @p pool sustains on
+     * @p workload; 0 when the SLA cannot be met at this co-location.
+     */
+    double machineRate(size_t pool, const Workload &workload) const;
+
+    /** Assign machines to workloads under the given policy. */
+    Placement place(const std::vector<Workload> &workloads,
+                    PlacementPolicy policy) const;
+
+    const std::vector<MachinePool> &pools() const { return pools_; }
+
+  private:
+    std::vector<MachinePool> pools_;
+    uint32_t tenants_per_socket_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_SCHED_SCHEDULER_HH

@@ -1,0 +1,116 @@
+#include "serving/distributed.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+namespace {
+
+/** Config for one shard node: only its share of the embedding tables. */
+ModelConfig
+shardConfig(const ModelConfig &base, uint32_t shard, uint32_t num_shards)
+{
+    ModelConfig cfg;
+    cfg.name = base.name + strprintf("-shard%u", shard);
+    cfg.modelClass = base.modelClass;
+    cfg.denseFeatures = 0;
+    cfg.bottomMlp = {};
+    cfg.emb = base.emb;
+    cfg.interaction = InteractionKind::Concat;
+    cfg.topMlp = {1}; // placeholder head; only SLS time is extracted
+
+    // Tables are dealt round-robin across shards so heterogeneous
+    // per-table sizes spread evenly.
+    cfg.emb.tableRows.clear();
+    int64_t tables = 0;
+    for (int64_t t = shard; t < base.emb.numTables;
+         t += static_cast<int64_t>(num_shards)) {
+        cfg.emb.tableRows.push_back(base.emb.rowsOf(t));
+        ++tables;
+    }
+    cfg.emb.numTables = tables;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+ShardedInference::ShardedInference(const MachineSpec &machine,
+                                   const ModelConfig &config,
+                                   uint32_t num_nodes,
+                                   const NetworkConfig &network,
+                                   const TimerOptions &options)
+    : machine_(machine), config_(config), network_(network),
+      options_(options)
+{
+    RP_ASSERT(num_nodes >= 1, "need at least one shard node");
+    config_.validate();
+    RP_ASSERT(config_.emb.numTables >= num_nodes,
+              "%s: cannot spread %lld tables over %u nodes",
+              config_.name.c_str(),
+              static_cast<long long>(config_.emb.numTables), num_nodes);
+
+    for (uint32_t s = 0; s < num_nodes; ++s) {
+        TimerOptions opts = options_;
+        opts.seed = options_.seed + 0x4000ull * (s + 1);
+        shard_timers_.push_back(std::make_unique<ModelTimer>(
+            machine_, shardConfig(config_, s, num_nodes), opts));
+    }
+
+    // The aggregator runs everything except the embedding gathers; it
+    // is timed with the full model and its SLS share subtracted.
+    agg_timer_ = std::make_unique<ModelTimer>(machine_, config_, options_);
+}
+
+uint32_t
+ShardedInference::numNodes() const
+{
+    return static_cast<uint32_t>(shard_timers_.size());
+}
+
+ShardedResult
+ShardedInference::run(int warmup_iters, int measure_iters)
+{
+    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
+
+    for (int i = 0; i < warmup_iters; ++i) {
+        for (auto &timer : shard_timers_)
+            timer->run();
+        agg_timer_->run();
+    }
+
+    ShardedResult result;
+    for (int i = 0; i < measure_iters; ++i) {
+        double slowest = 0.0;
+        for (auto &timer : shard_timers_) {
+            ModelTiming t = timer->run();
+            slowest = std::max(slowest, t.secondsByKind(OpKind::SLS));
+        }
+        ModelTiming agg = agg_timer_->run();
+        double agg_seconds = agg.totalSeconds() -
+            agg.secondsByKind(OpKind::SLS);
+
+        result.slowestShardSeconds += slowest;
+        result.aggregatorSeconds += agg_seconds;
+    }
+    result.slowestShardSeconds /= measure_iters;
+    result.aggregatorSeconds /= measure_iters;
+
+    // Pooled vectors: one embDim-vector per (sample, table) crosses the
+    // network; with one node everything is local.
+    if (numNodes() > 1) {
+        result.networkBytes = static_cast<double>(options_.batch) *
+            static_cast<double>(config_.emb.numTables) *
+            static_cast<double>(config_.emb.embDim) * 4.0;
+        result.networkSeconds = network_.rttUs * 1e-6 +
+            result.networkBytes / (network_.bandwidthGBps * 1e9);
+    }
+
+    result.totalSeconds = result.slowestShardSeconds +
+        result.networkSeconds + result.aggregatorSeconds;
+    return result;
+}
+
+} // namespace recperf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sharded (distributed) recommendation inference.
+ *
+ * Section VII notes the open-source benchmark "can be used to analyze
+ * scheduling decisions, such as running recommendation models across
+ * many nodes (distributed inference)". The standard sharding for
+ * embedding-dominated models is table-wise: each node holds a subset of
+ * the embedding tables, executes its SparseLengthsSum share in
+ * parallel, and ships the pooled vectors to an aggregator that runs the
+ * interaction and Top-FC. Latency = slowest shard + network transfer +
+ * aggregator compute.
+ */
+
+#ifndef RECPERF_SERVING_DISTRIBUTED_HH
+#define RECPERF_SERVING_DISTRIBUTED_HH
+
+#include <memory>
+#include <vector>
+
+#include "timing/model_timer.hh"
+
+namespace recperf {
+
+/** Data-center network between shard nodes and the aggregator. */
+struct NetworkConfig
+{
+    double rttUs = 10.0;          ///< one round trip, kernel bypass
+    double bandwidthGBps = 3.0;   ///< per-link (25 GbE-class)
+};
+
+/** Per-inference latency breakdown of a sharded execution. */
+struct ShardedResult
+{
+    double totalSeconds = 0.0;
+    double slowestShardSeconds = 0.0; ///< parallel SLS across nodes
+    double networkSeconds = 0.0;      ///< pooled-vector all-to-one
+    double aggregatorSeconds = 0.0;   ///< bottom/top MLP + interaction
+
+    /** Pooled-embedding bytes crossing the network per inference. */
+    double networkBytes = 0.0;
+};
+
+/**
+ * Times table-wise sharded inference of one model over N nodes of the
+ * same machine type.
+ */
+class ShardedInference
+{
+  public:
+    /**
+     * @param num_nodes embedding shard nodes (>= 1). With one node the
+     *        execution degenerates to the single-machine model (plus
+     *        no network cost).
+     */
+    ShardedInference(const MachineSpec &machine, const ModelConfig &config,
+                     uint32_t num_nodes, const NetworkConfig &network,
+                     const TimerOptions &options);
+
+    /** Average per-inference latency in steady state. */
+    ShardedResult run(int warmup_iters, int measure_iters);
+
+    uint32_t numNodes() const;
+
+  private:
+    MachineSpec machine_;
+    ModelConfig config_;
+    NetworkConfig network_;
+    TimerOptions options_;
+    /** One timer per shard, holding that node's table subset. */
+    std::vector<std::unique_ptr<ModelTimer>> shard_timers_;
+    /** Timer for the aggregator's dense work (no tables). */
+    std::unique_ptr<ModelTimer> agg_timer_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_SERVING_DISTRIBUTED_HH

@@ -1,0 +1,191 @@
+#include "serving/server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+namespace {
+
+constexpr uint64_t kTenantRegionBytes = 1ull << 44;
+
+/** Min-heap entry: (free time, worker index). */
+using WorkerSlot = std::pair<double, size_t>;
+
+} // namespace
+
+double
+ServingStats::goodThroughput() const
+{
+    return duration > 0.0 ? static_cast<double>(slaMet) / duration : 0.0;
+}
+
+double
+ServingStats::totalThroughput() const
+{
+    return duration > 0.0
+        ? static_cast<double>(slaMet + slaMissed) / duration : 0.0;
+}
+
+double
+ServingStats::slaFraction() const
+{
+    uint64_t total = slaMet + slaMissed;
+    return total > 0 ? static_cast<double>(slaMet) /
+        static_cast<double>(total) : 0.0;
+}
+
+Server::Server(const MachineSpec &machine, const ModelConfig &config,
+               const TimerOptions &timer_options,
+               const ServerOptions &options)
+    : machine_(machine), options_(options),
+      jitter_rng_(options.seed ^ 0xa5a5a5a5ULL),
+      arrival_rng_(options.seed ^ 0x5a5a5a5aULL)
+{
+    RP_ASSERT(options_.numWorkers >= 1, "server needs at least one worker");
+    RP_ASSERT(options_.maxBatch >= 1, "maxBatch must be positive");
+
+    hier_ = machine_.makeHierarchy(options_.numWorkers);
+    bool ht = options_.numWorkers > machine_.coresPerSocket;
+    for (uint32_t w = 0; w < options_.numWorkers; ++w) {
+        TimerOptions topts = timer_options;
+        topts.hyperthreading = ht;
+        topts.seed = timer_options.seed + 0x2000ull * (w + 1);
+        topts.batch = options_.maxBatch;
+        auto timer = std::make_unique<ModelTimer>(machine_, config, topts);
+        timer->attach(hier_.get(), w, kTenantRegionBytes * (w + 1));
+        workers_.push_back(std::move(timer));
+    }
+
+    // Warm caches and converge the FC contention estimate (two passes,
+    // as in ColocationSim).
+    std::vector<double> dram_bytes(workers_.size(), 0.0);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            double observed = 0.0;
+            for (int i = 0; i < 3; ++i) {
+                workers_[w]->run();
+                observed += workers_[w]->lastDramBytes();
+            }
+            dram_bytes[w] = observed / 3.0;
+        }
+        double total = 0.0;
+        for (double b : dram_bytes)
+            total += b;
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            workers_[w]->setContention(
+                static_cast<uint32_t>(workers_.size()),
+                total - dram_bytes[w]);
+        }
+    }
+}
+
+uint32_t
+Server::numWorkers() const
+{
+    return static_cast<uint32_t>(workers_.size());
+}
+
+double
+Server::serviceBatch(size_t worker, int64_t batch, double *fc_seconds)
+{
+    workers_[worker]->setBatch(batch);
+    ModelTiming timing = workers_[worker]->run();
+    double jitter = std::exp(jitter_rng_.nextGaussian() *
+                             options_.jitterSigma);
+    if (fc_seconds)
+        *fc_seconds = timing.secondsByKind(OpKind::FC) * jitter;
+    return timing.totalSeconds() * jitter;
+}
+
+ServingStats
+Server::runOpenLoop(double items_per_second, uint64_t num_items)
+{
+    RP_ASSERT(items_per_second > 0.0, "arrival rate must be positive");
+    RP_ASSERT(num_items > 0, "need at least one item");
+
+    // Poisson arrivals.
+    std::vector<double> arrivals;
+    arrivals.reserve(num_items);
+    double t = 0.0;
+    for (uint64_t i = 0; i < num_items; ++i) {
+        t += arrival_rng_.nextExponential(items_per_second);
+        arrivals.push_back(t);
+    }
+
+    std::priority_queue<WorkerSlot, std::vector<WorkerSlot>,
+                        std::greater<>> free_at;
+    for (size_t w = 0; w < workers_.size(); ++w)
+        free_at.emplace(0.0, w);
+
+    ServingStats stats;
+    size_t next = 0;
+    double last_finish = 0.0;
+    while (next < arrivals.size()) {
+        auto [t_free, w] = free_at.top();
+        free_at.pop();
+
+        double start = std::max(t_free, arrivals[next]);
+        size_t end = next;
+        while (end < arrivals.size() &&
+               arrivals[end] <= start &&
+               static_cast<int64_t>(end - next) < options_.maxBatch) {
+            ++end;
+        }
+        int64_t batch = static_cast<int64_t>(end - next);
+
+        double fc = 0.0;
+        double service = serviceBatch(w, batch, &fc);
+        double finish = start + service;
+        stats.serviceTime.add(service);
+        stats.fcTime.add(fc);
+
+        for (size_t i = next; i < end; ++i) {
+            double latency = finish - arrivals[i];
+            stats.itemLatency.add(latency);
+            if (latency <= options_.slaSeconds)
+                ++stats.slaMet;
+            else
+                ++stats.slaMissed;
+        }
+        last_finish = std::max(last_finish, finish);
+        next = end;
+        free_at.emplace(finish, w);
+    }
+
+    stats.duration = last_finish;
+    return stats;
+}
+
+ServingStats
+Server::runClosedLoop(uint64_t batches_per_worker)
+{
+    RP_ASSERT(batches_per_worker > 0, "need at least one batch");
+
+    ServingStats stats;
+    std::vector<double> busy(workers_.size(), 0.0);
+    // Round-robin so tenant cache streams interleave realistically.
+    for (uint64_t b = 0; b < batches_per_worker; ++b) {
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            double fc = 0.0;
+            double service = serviceBatch(w, options_.maxBatch, &fc);
+            stats.serviceTime.add(service);
+            stats.fcTime.add(fc);
+            busy[w] += service;
+            for (int64_t i = 0; i < options_.maxBatch; ++i) {
+                stats.itemLatency.add(service);
+                if (service <= options_.slaSeconds)
+                    ++stats.slaMet;
+                else
+                    ++stats.slaMissed;
+            }
+        }
+    }
+    stats.duration = *std::max_element(busy.begin(), busy.end());
+    return stats;
+}
+
+} // namespace recperf

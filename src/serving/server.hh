@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Discrete-event serving simulation: batching, co-location, and SLA.
+ *
+ * Section III argues that single-model latency is the wrong data-center
+ * metric; what matters is latency-bounded throughput — items ranked per
+ * second while meeting the SLA. This module provides the serving layer
+ * that turns the per-inference timing model into that metric:
+ *
+ *  - items (user-post pairs) arrive as a Poisson process;
+ *  - a batching queue groups waiting items up to a maximum batch;
+ *  - N co-located worker instances (sharing the socket LLC via the
+ *    simulated hierarchy, as in ColocationSim) serve batches;
+ *  - per-item latency = queueing + service; a lognormal jitter models
+ *    the OS/scheduler noise of the production environment (§VI-A).
+ */
+
+#ifndef RECPERF_SERVING_SERVER_HH
+#define RECPERF_SERVING_SERVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/stats.hh"
+#include "timing/model_timer.hh"
+
+namespace recperf {
+
+/** Serving-layer configuration. */
+struct ServerOptions
+{
+    /** Co-located model instances (worker cores) on the socket. */
+    uint32_t numWorkers = 1;
+
+    /** Largest batch the dynamic batcher will form. */
+    int64_t maxBatch = 32;
+
+    /** Latency SLA for an item (arrival to completion). */
+    double slaSeconds = 0.450;
+
+    /** Lognormal sigma applied to every service time. */
+    double jitterSigma = 0.08;
+
+    uint64_t seed = 1234;
+};
+
+/** Outcome of a serving run. */
+struct ServingStats
+{
+    /** Per-item end-to-end latencies (seconds). */
+    LatencySample itemLatency;
+
+    /** Per-batch service times (seconds). */
+    LatencySample serviceTime;
+
+    /** Per-batch FC-operator times (for Fig 11-style views). */
+    LatencySample fcTime;
+
+    /** Items that met the SLA. */
+    uint64_t slaMet = 0;
+
+    /** Items that missed the SLA (would be preemptively dropped). */
+    uint64_t slaMissed = 0;
+
+    /** Wall-clock span of the simulation (seconds). */
+    double duration = 0.0;
+
+    /** Items completing within SLA per second. */
+    double goodThroughput() const;
+
+    /** All completed items per second. */
+    double totalThroughput() const;
+
+    /** Fraction of items meeting the SLA. */
+    double slaFraction() const;
+};
+
+/**
+ * A single-socket inference server running one model type on N
+ * co-located workers with dynamic batching.
+ */
+class Server
+{
+  public:
+    Server(const MachineSpec &machine, const ModelConfig &config,
+           const TimerOptions &timer_options, const ServerOptions &options);
+
+    /**
+     * Open-loop run: Poisson item arrivals at @p items_per_second for
+     * @p num_items items.
+     */
+    ServingStats runOpenLoop(double items_per_second, uint64_t num_items);
+
+    /**
+     * Closed-loop run: workers always have a full batch ready
+     * (saturation throughput measurement).
+     */
+    ServingStats runClosedLoop(uint64_t batches_per_worker);
+
+    uint32_t numWorkers() const;
+
+  private:
+    double serviceBatch(size_t worker, int64_t batch, double *fc_seconds);
+
+    MachineSpec machine_;
+    ServerOptions options_;
+    std::unique_ptr<CacheHierarchy> hier_;
+    std::vector<std::unique_ptr<ModelTimer>> workers_;
+    Rng jitter_rng_;
+    Rng arrival_rng_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_SERVING_SERVER_HH

@@ -1,0 +1,153 @@
+#include "simcache/cache.hh"
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+Cache::Cache(std::string name, uint64_t size_bytes, uint32_t associativity,
+             uint32_t line_bytes)
+    : name_(std::move(name)), size_bytes_(size_bytes), assoc_(associativity),
+      line_bytes_(line_bytes)
+{
+    RP_ASSERT(line_bytes_ > 0 && assoc_ > 0, "bad cache geometry");
+    RP_ASSERT(size_bytes_ % (static_cast<uint64_t>(line_bytes_) * assoc_) == 0,
+              "%s: size %llu not divisible by line*assoc",
+              name_.c_str(), static_cast<unsigned long long>(size_bytes_));
+    uint64_t num_sets = size_bytes_ / line_bytes_ / assoc_;
+    RP_ASSERT(num_sets > 0, "%s: zero sets", name_.c_str());
+    sets_.resize(num_sets);
+    for (auto &set : sets_)
+        set.ways.resize(assoc_);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    uint64_t line = lineAddr(addr);
+    Set &set = sets_[setIndex(line)];
+    for (Line &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            way.lastUse = tick_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    uint64_t line = lineAddr(addr);
+    const Set &set = sets_[setIndex(line)];
+    for (const Line &way : set.ways) {
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return false;
+}
+
+std::optional<uint64_t>
+Cache::fill(uint64_t addr)
+{
+    ++tick_;
+    uint64_t line = lineAddr(addr);
+    Set &set = sets_[setIndex(line)];
+
+    // Already present: refresh recency, nothing evicted.
+    for (Line &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            way.lastUse = tick_;
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid way.
+    for (Line &way : set.ways) {
+        if (!way.valid) {
+            way.valid = true;
+            way.tag = line;
+            way.lastUse = tick_;
+            return std::nullopt;
+        }
+    }
+
+    // Evict LRU.
+    Line *victim = &set.ways.front();
+    for (Line &way : set.ways) {
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    uint64_t evicted = victim->tag * line_bytes_;
+    victim->tag = line;
+    victim->lastUse = tick_;
+    ++stats_.evictions;
+    return evicted;
+}
+
+bool
+Cache::invalidate(uint64_t addr)
+{
+    uint64_t line = lineAddr(addr);
+    Set &set = sets_[setIndex(line)];
+    for (Line &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            way.valid = false;
+            ++stats_.backInvalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::extract(uint64_t addr)
+{
+    uint64_t line = lineAddr(addr);
+    Set &set = sets_[setIndex(line)];
+    for (Line &way : set.ways) {
+        if (way.valid && way.tag == line) {
+            way.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Set &set : sets_) {
+        for (Line &way : set.ways)
+            way.valid = false;
+    }
+}
+
+uint64_t
+Cache::occupancy() const
+{
+    uint64_t n = 0;
+    for (const Set &set : sets_) {
+        for (const Line &way : set.ways)
+            n += way.valid ? 1 : 0;
+    }
+    return n;
+}
+
+std::vector<uint64_t>
+Cache::residentLines() const
+{
+    std::vector<uint64_t> lines;
+    for (const Set &set : sets_) {
+        for (const Line &way : set.ways) {
+            if (way.valid)
+                lines.push_back(way.tag * line_bytes_);
+        }
+    }
+    return lines;
+}
+
+} // namespace recperf

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A single set-associative cache with LRU replacement.
+ *
+ * This is the building block of the simulated Haswell/Broadwell/Skylake
+ * memory hierarchies. It tracks tags only (no data): the functional
+ * model results never depend on it, but hit/miss behaviour — and hence
+ * the paper's MPKI and latency effects — does.
+ */
+
+#ifndef RECPERF_SIMCACHE_CACHE_HH
+#define RECPERF_SIMCACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace recperf {
+
+/** Hit/miss and maintenance counters for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t backInvalidations = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+            static_cast<double>(accesses) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = CacheStats();
+    }
+};
+
+/**
+ * Set-associative, LRU, tag-only cache model.
+ *
+ * Addresses are byte addresses; the cache operates on aligned lines of
+ * lineBytes() granularity.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name label used in stats dumps, e.g. "L2".
+     * @param size_bytes total capacity; must be a multiple of
+     *        line_bytes * associativity.
+     * @param associativity ways per set.
+     * @param line_bytes line size (64 on all modeled machines).
+     */
+    Cache(std::string name, uint64_t size_bytes, uint32_t associativity,
+          uint32_t line_bytes = 64);
+
+    const std::string &name() const { return name_; }
+    uint64_t sizeBytes() const { return size_bytes_; }
+    uint32_t associativity() const { return assoc_; }
+    uint32_t lineBytes() const { return line_bytes_; }
+    uint64_t numSets() const { return sets_.size(); }
+
+    /**
+     * Look up a line; on hit, refresh its LRU position. Counts as an
+     * access in the stats. Does NOT allocate on miss — allocation
+     * decisions belong to the hierarchy (inclusive vs. exclusive).
+     *
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without touching LRU state or stats. */
+    bool contains(uint64_t addr) const;
+
+    /**
+     * Insert a line, evicting the LRU line of the set if full.
+     *
+     * @return the byte address of the evicted line, if any.
+     */
+    std::optional<uint64_t> fill(uint64_t addr);
+
+    /**
+     * Remove a line if present (back-invalidation from an inclusive
+     * outer level, or promotion out of an exclusive victim cache).
+     *
+     * @return true when the line was present.
+     */
+    bool invalidate(uint64_t addr);
+
+    /**
+     * Remove a line without charging a back-invalidation (used when an
+     * exclusive LLC promotes a line up to a private L2 on hit).
+     *
+     * @return true when the line was present.
+     */
+    bool extract(uint64_t addr);
+
+    /** Drop all lines; stats are preserved. */
+    void flush();
+
+    /** Number of currently valid lines. */
+    uint64_t occupancy() const;
+
+    /** Byte addresses of all resident lines (test/invariant hook). */
+    std::vector<uint64_t> residentLines() const;
+
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const { return addr / line_bytes_; }
+    size_t setIndex(uint64_t line) const { return line % sets_.size(); }
+
+    std::string name_;
+    uint64_t size_bytes_;
+    uint32_t assoc_;
+    uint32_t line_bytes_;
+    uint64_t tick_ = 0;
+    std::vector<Set> sets_;
+    CacheStats stats_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_SIMCACHE_CACHE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Timing results for operators and whole-model inferences.
+ */
+
+#ifndef RECPERF_TIMING_OP_TIMING_HH
+#define RECPERF_TIMING_OP_TIMING_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/op_cost.hh"
+
+namespace recperf {
+
+/** Timing and memory-behaviour record for one operator invocation. */
+struct OpTiming
+{
+    OpKind kind = OpKind::Other;
+    std::string name;
+
+    double seconds = 0.0;          ///< total modeled latency
+    double computeSeconds = 0.0;   ///< arithmetic-bound component
+    double memorySeconds = 0.0;    ///< memory-bound component
+    double dispatchSeconds = 0.0;  ///< fixed framework overhead
+
+    /** Estimated dynamic instructions (for MPKI metrics). */
+    double instructions = 0.0;
+
+    /** Cache lines serviced per level (SLS uses the real simulator). */
+    uint64_t l1Lines = 0;
+    uint64_t l2Lines = 0;
+    uint64_t l3Lines = 0;
+    uint64_t dramLines = 0;
+};
+
+/** End-to-end timing of one model inference. */
+struct ModelTiming
+{
+    std::vector<OpTiming> ops;
+
+    /** Sum of per-op latencies (single-threaded execution, as in §IV). */
+    double totalSeconds() const;
+
+    /** Latency attributed to a given operator kind. */
+    double secondsByKind(OpKind kind) const;
+
+    /** Fraction of total latency in a given operator kind (Fig 7). */
+    double fractionByKind(OpKind kind) const;
+
+    /** Latency per operator kind. */
+    std::map<OpKind, double> breakdown() const;
+
+    /** Total estimated instructions. */
+    double instructions() const;
+
+    /** LLC misses (lines serviced by DRAM) per kilo-instruction. */
+    double llcMpki() const;
+
+    /** DRAM lines touched. */
+    uint64_t dramLines() const;
+
+    /** Merge another inference's records (for aggregation). */
+    void accumulate(const ModelTiming &other);
+
+    /** Divide all time/instruction quantities by @p n (averaging). */
+    void scale(double inv_n);
+};
+
+} // namespace recperf
+
+#endif // RECPERF_TIMING_OP_TIMING_HH

@@ -1,0 +1,91 @@
+#include "timing/tiered_memory.hh"
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+TieredSlsModel::TieredSlsModel(const MachineSpec &machine,
+                               const ModelConfig &config,
+                               const NvmConfig &nvm,
+                               size_t dram_cache_rows, CachePolicy policy,
+                               const TimerOptions &options)
+    : machine_(machine), config_(config), nvm_(nvm), options_(options)
+{
+    config_.validate();
+    RP_ASSERT(config_.emb.numTables > 0,
+              "tiered memory study needs embedding tables");
+    RP_ASSERT(static_cast<double>(config_.embStorageBytes()) <=
+              nvm.capacityGB * 1e9,
+              "tables exceed NVM capacity");
+
+    if (dram_cache_rows > 0) {
+        cache_ = std::make_unique<EmbeddingVectorCache>(dram_cache_rows,
+                                                        policy);
+    }
+    Rng rng(options_.seed);
+    for (int64_t t = 0; t < config_.emb.numTables; ++t) {
+        TraceProfile profile{"tiered", options_.zipfAlpha,
+                             options_.repeatProb, options_.repeatWindow};
+        table_gens_.push_back(
+            makeGenerator(profile, config_.emb.rowsOf(t), rng.split()));
+    }
+}
+
+double
+TieredSlsModel::nvmGatherSeconds(double rows) const
+{
+    double lines_per_row = static_cast<double>(
+        (config_.emb.rowBytes() + 63) / 64);
+    return rows * lines_per_row * 64.0 / (nvm_.gatherGBps * 1e9);
+}
+
+TieredSlsResult
+TieredSlsModel::run(int warmup_iters, int measure_iters)
+{
+    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
+    const int64_t rows_per_table =
+        options_.batch * config_.emb.lookupsPerTable;
+
+    auto run_once = [&](bool measure, TieredSlsResult *out) {
+        uint64_t dram_rows = 0, nvm_rows = 0;
+        for (size_t t = 0; t < table_gens_.size(); ++t) {
+            for (int64_t r = 0; r < rows_per_table; ++r) {
+                uint64_t key = (static_cast<uint64_t>(t) << 48) |
+                    static_cast<uint64_t>(table_gens_[t]->next());
+                bool hit = cache_ && cache_->access(key);
+                if (hit)
+                    ++dram_rows;
+                else
+                    ++nvm_rows;
+            }
+        }
+        if (measure && out) {
+            // DRAM-cached rows cost a DRAM gather; the rest read NVM.
+            out->slsSecondsPerInference += machine_.gatherSeconds(
+                HitLevel::Memory, static_cast<double>(dram_rows) *
+                    ((config_.emb.rowBytes() + 63) / 64),
+                options_.batch) +
+                nvmGatherSeconds(static_cast<double>(nvm_rows));
+            out->nvmReadsPerInference += nvm_rows;
+        }
+    };
+
+    for (int i = 0; i < warmup_iters; ++i)
+        run_once(false, nullptr);
+    if (cache_)
+        cache_->resetStats();
+
+    TieredSlsResult result;
+    for (int i = 0; i < measure_iters; ++i)
+        run_once(true, &result);
+    result.slsSecondsPerInference /= measure_iters;
+    result.nvmReadsPerInference /= static_cast<uint64_t>(measure_iters);
+    result.dramCacheHitRate = cache_ ? cache_->hitRate() : 0.0;
+    result.dramCacheBytes = cache_
+        ? static_cast<double>(cache_->capacity()) *
+            static_cast<double>(config_.emb.rowBytes())
+        : 0.0;
+    return result;
+}
+
+} // namespace recperf

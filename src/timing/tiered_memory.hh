@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tiered DRAM/NVM embedding storage model.
+ *
+ * The paper's related work (Eisenman et al. [25], cited in §V/§VIII)
+ * proposes holding the tens-of-GB embedding tables in dense non-
+ * volatile memory with a DRAM cache for hot rows. This model quantifies
+ * that design point on our simulated servers: sparse-ID traces drive a
+ * row-granular DRAM cache; misses pay NVM gather costs.
+ */
+
+#ifndef RECPERF_TIMING_TIERED_MEMORY_HH
+#define RECPERF_TIMING_TIERED_MEMORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/machine_spec.hh"
+#include "model/config.hh"
+#include "timing/model_timer.hh"
+#include "trace/embedding_cache.hh"
+
+namespace recperf {
+
+/** Dense non-volatile memory characteristics (Optane-class). */
+struct NvmConfig
+{
+    /** Idle read latency; several times DRAM. */
+    double readLatencyNs = 350.0;
+
+    /** Effective bandwidth on dependent random 64 B gathers. */
+    double gatherGBps = 0.30;
+
+    /** Capacity per socket — large enough for any RMC's tables. */
+    double capacityGB = 1536.0;
+};
+
+/** Outcome of a tiered-memory SLS simulation. */
+struct TieredSlsResult
+{
+    double slsSecondsPerInference = 0.0;
+    double dramCacheHitRate = 0.0;
+    uint64_t nvmReadsPerInference = 0;
+
+    /** DRAM bytes needed by the cache (capacity_rows x rowBytes). */
+    double dramCacheBytes = 0.0;
+};
+
+/**
+ * Simulates the SparseLengthsSum cost of one model when its embedding
+ * tables live in NVM behind a row-granular DRAM cache.
+ */
+class TieredSlsModel
+{
+  public:
+    /**
+     * @param dram_cache_rows total cached rows across all tables
+     *        (0 = no cache: every gather reads NVM).
+     */
+    TieredSlsModel(const MachineSpec &machine, const ModelConfig &config,
+                   const NvmConfig &nvm, size_t dram_cache_rows,
+                   CachePolicy policy, const TimerOptions &options);
+
+    /**
+     * Warm the cache, then measure the average per-inference SLS cost
+     * over @p measure_iters inferences.
+     */
+    TieredSlsResult run(int warmup_iters, int measure_iters);
+
+  private:
+    double nvmGatherSeconds(double rows) const;
+
+    MachineSpec machine_;
+    ModelConfig config_;
+    NvmConfig nvm_;
+    TimerOptions options_;
+    std::unique_ptr<EmbeddingVectorCache> cache_;
+    std::vector<std::unique_ptr<IdGenerator>> table_gens_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_TIMING_TIERED_MEMORY_HH

@@ -1,0 +1,115 @@
+#include "trace/embedding_cache.hh"
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+const char *
+cachePolicyName(CachePolicy policy)
+{
+    switch (policy) {
+      case CachePolicy::Lru: return "LRU";
+      case CachePolicy::Lfu: return "LFU";
+    }
+    return "Unknown";
+}
+
+EmbeddingVectorCache::EmbeddingVectorCache(size_t capacity_rows,
+                                           CachePolicy policy)
+    : capacity_(capacity_rows), policy_(policy)
+{
+    RP_ASSERT(capacity_rows > 0, "cache needs a positive capacity");
+}
+
+bool
+EmbeddingVectorCache::access(uint64_t key)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        ++hits_;
+        auto bucket_it = buckets_.find(it->second.first);
+        touch(bucket_it, it->second.second);
+        return true;
+    }
+
+    ++misses_;
+    if (index_.size() >= capacity_)
+        evictOne();
+
+    uint64_t freq_key = policy_ == CachePolicy::Lfu ? 1 : 0;
+    Bucket &bucket = buckets_[freq_key];
+    // Most-recent entries live at the back of their bucket.
+    bucket.push_back({key, 1});
+    index_[key] = {freq_key, std::prev(bucket.end())};
+    return false;
+}
+
+bool
+EmbeddingVectorCache::contains(uint64_t key) const
+{
+    return index_.count(key) > 0;
+}
+
+double
+EmbeddingVectorCache::hitRate() const
+{
+    uint64_t total = hits_ + misses_;
+    return total > 0
+        ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+}
+
+void
+EmbeddingVectorCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+EmbeddingVectorCache::touch(std::map<uint64_t, Bucket>::iterator bucket_it,
+                            Bucket::iterator entry_it)
+{
+    Entry entry = *entry_it;
+    bucket_it->second.erase(entry_it);
+
+    uint64_t new_key = bucket_it->first;
+    if (policy_ == CachePolicy::Lfu) {
+        ++entry.frequency;
+        new_key = entry.frequency;
+    }
+    if (bucket_it->second.empty())
+        buckets_.erase(bucket_it);
+
+    Bucket &bucket = buckets_[new_key];
+    bucket.push_back(entry);
+    index_[entry.key] = {new_key, std::prev(bucket.end())};
+}
+
+void
+EmbeddingVectorCache::evictOne()
+{
+    RP_ASSERT(!buckets_.empty(), "evict from empty cache");
+    // Lowest frequency bucket (LFU) or the single recency bucket (LRU);
+    // within a bucket the front is the least recently used.
+    auto bucket_it = buckets_.begin();
+    Entry victim = bucket_it->second.front();
+    bucket_it->second.pop_front();
+    if (bucket_it->second.empty())
+        buckets_.erase(bucket_it);
+    index_.erase(victim.key);
+}
+
+double
+simulateCacheHitRate(IdGenerator &gen, size_t n, size_t capacity_rows,
+                     CachePolicy policy)
+{
+    EmbeddingVectorCache cache(capacity_rows, policy);
+    for (size_t i = 0; i < n; ++i)
+        cache.access(static_cast<uint64_t>(gen.next()));
+    cache.resetStats();
+    for (size_t i = 0; i < n; ++i)
+        cache.access(static_cast<uint64_t>(gen.next()));
+    return cache.hitRate();
+}
+
+} // namespace recperf

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Software embedding-vector cache simulation.
+ *
+ * Fig 14 shows that many production traces re-reference a small set of
+ * sparse IDs, which "enables opportunities for embedding vector re-use
+ * and intelligent caching" (§VII). This models exactly that: a
+ * row-granular cache of embedding vectors (e.g. a DRAM cache in front
+ * of NVM-resident tables, as in Eisenman et al. [25], or an
+ * accelerator-side scratchpad), with LRU and LFU policies, driven by
+ * the same trace generators the timing model uses.
+ */
+
+#ifndef RECPERF_TRACE_EMBEDDING_CACHE_HH
+#define RECPERF_TRACE_EMBEDDING_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "trace/id_generator.hh"
+
+namespace recperf {
+
+/** Replacement policy of the vector cache. */
+enum class CachePolicy
+{
+    Lru, ///< least recently used
+    Lfu, ///< least frequently used (with LRU tie-break)
+};
+
+/** Display name, e.g. "LRU". */
+const char *cachePolicyName(CachePolicy policy);
+
+/**
+ * A row-granular cache of embedding vectors with a fixed capacity in
+ * rows. Keys are opaque 64-bit row identifiers (callers combine table
+ * index and row index).
+ */
+class EmbeddingVectorCache
+{
+  public:
+    EmbeddingVectorCache(size_t capacity_rows, CachePolicy policy);
+
+    /**
+     * Reference a row; inserts it on miss (evicting per policy).
+     * @return true on hit.
+     */
+    bool access(uint64_t key);
+
+    /** Probe without updating state. */
+    bool contains(uint64_t key) const;
+
+    size_t capacity() const { return capacity_; }
+    size_t size() const { return index_.size(); }
+    CachePolicy policy() const { return policy_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double hitRate() const;
+
+    void resetStats();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        uint64_t frequency; ///< LFU reference count
+    };
+
+    // Entries live in buckets keyed by frequency (LFU) or in a single
+    // recency list (LRU, where the frequency key is constant 0).
+    using Bucket = std::list<Entry>;
+
+    void touch(std::map<uint64_t, Bucket>::iterator bucket_it,
+               Bucket::iterator entry_it);
+    void evictOne();
+
+    size_t capacity_;
+    CachePolicy policy_;
+    std::map<uint64_t, Bucket> buckets_;
+    std::unordered_map<uint64_t,
+                       std::pair<uint64_t, Bucket::iterator>> index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/**
+ * Hit rate of a cache of @p capacity_rows rows over @p n draws from a
+ * generator (after a warm-up of the same length).
+ */
+double simulateCacheHitRate(IdGenerator &gen, size_t n,
+                            size_t capacity_rows, CachePolicy policy);
+
+} // namespace recperf
+
+#endif // RECPERF_TRACE_EMBEDDING_CACHE_HH

@@ -1,0 +1,62 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+void
+saveTrace(const std::string &path, const std::vector<int64_t> &ids)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        RP_FATAL("cannot open trace file '%s' for writing", path.c_str());
+    std::fprintf(f, "# recperf sparse-ID trace, %zu entries\n", ids.size());
+    for (int64_t id : ids)
+        std::fprintf(f, "%lld\n", static_cast<long long>(id));
+    std::fclose(f);
+}
+
+std::vector<int64_t>
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        RP_FATAL("cannot open trace file '%s' for reading", path.c_str());
+    std::vector<int64_t> ids;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        long long value;
+        if (std::sscanf(line, "%lld", &value) != 1) {
+            std::fclose(f);
+            RP_FATAL("malformed trace line in '%s': %s", path.c_str(), line);
+        }
+        ids.push_back(value);
+    }
+    std::fclose(f);
+    return ids;
+}
+
+TraceReplayGen::TraceReplayGen(std::vector<int64_t> ids, int64_t rows)
+    : ids_(std::move(ids)), rows_(rows)
+{
+    RP_ASSERT(!ids_.empty(), "replay trace is empty");
+    for (int64_t id : ids_) {
+        RP_ASSERT(id >= 0 && id < rows_,
+                  "trace ID %lld out of table rows %lld",
+                  static_cast<long long>(id), static_cast<long long>(rows_));
+    }
+}
+
+int64_t
+TraceReplayGen::next()
+{
+    int64_t id = ids_[pos_];
+    pos_ = (pos_ + 1) % ids_.size();
+    return id;
+}
+
+} // namespace recperf

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text sparse-ID trace persistence and replay.
+ *
+ * The open-source benchmark lets users instrument models with recorded
+ * or public traces; this gives RecPerf the same capability (one ID per
+ * line, '#' comments allowed).
+ */
+
+#ifndef RECPERF_TRACE_TRACE_FILE_HH
+#define RECPERF_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/id_generator.hh"
+
+namespace recperf {
+
+/** Write a trace; throws FatalError on I/O failure. */
+void saveTrace(const std::string &path, const std::vector<int64_t> &ids);
+
+/** Read a trace; throws FatalError on I/O or parse failure. */
+std::vector<int64_t> loadTrace(const std::string &path);
+
+/** Replays a fixed trace in a loop. */
+class TraceReplayGen : public IdGenerator
+{
+  public:
+    /**
+     * @param ids recorded trace (must be non-empty).
+     * @param rows table size; all IDs must be < rows.
+     */
+    TraceReplayGen(std::vector<int64_t> ids, int64_t rows);
+
+    int64_t next() override;
+    int64_t rows() const override { return rows_; }
+
+  private:
+    std::vector<int64_t> ids_;
+    int64_t rows_;
+    size_t pos_ = 0;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_TRACE_TRACE_FILE_HH

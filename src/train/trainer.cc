@@ -1,0 +1,360 @@
+#include "train/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.hh"
+#include "ops/elementwise.hh"
+
+namespace recperf {
+
+namespace {
+
+/** Numerically-safe log for BCE. */
+double
+safeLog(double x)
+{
+    return std::log(std::max(x, 1e-12));
+}
+
+} // namespace
+
+double
+areaUnderRoc(const std::vector<float> &scores,
+             const std::vector<float> &labels)
+{
+    RP_ASSERT(scores.size() == labels.size() && !scores.empty(),
+              "AUC needs matching, non-empty scores/labels");
+    // Mann-Whitney U via average ranks (ties handled exactly).
+    std::vector<size_t> order(scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a] < scores[b];
+    });
+
+    double positive_rank_sum = 0.0;
+    size_t positives = 0, negatives = 0;
+    size_t i = 0;
+    while (i < order.size()) {
+        size_t j = i;
+        while (j < order.size() && scores[order[j]] == scores[order[i]])
+            ++j;
+        // Ranks are 1-based; tied entries share the average rank.
+        double avg_rank = (static_cast<double>(i + 1) +
+                           static_cast<double>(j)) / 2.0;
+        for (size_t k = i; k < j; ++k) {
+            if (labels[order[k]] >= 0.5f) {
+                positive_rank_sum += avg_rank;
+                ++positives;
+            } else {
+                ++negatives;
+            }
+        }
+        i = j;
+    }
+    if (positives == 0 || negatives == 0)
+        return 0.5; // undefined; conventional fallback
+    double u = positive_rank_sum -
+        static_cast<double>(positives) *
+            (static_cast<double>(positives) + 1.0) / 2.0;
+    return u / (static_cast<double>(positives) *
+                static_cast<double>(negatives));
+}
+
+Trainer::Trainer(RecModel &model, const TrainOptions &options)
+    : model_(model), options_(options)
+{
+    RP_ASSERT(model_.config().interaction == InteractionKind::Concat,
+              "%s: trainer supports concat interaction only",
+              model_.config().name.c_str());
+    RP_ASSERT(options_.learningRate > 0.0f, "learning rate must be > 0");
+
+    if (options_.optimizer == Optimizer::Adagrad) {
+        // Accumulators: bottom FCs, then top FCs; one per table.
+        for (const FullyConnected &fc : model_.bottomLayers()) {
+            fc_accum_.emplace_back(
+                static_cast<size_t>(fc.paramCount()), 0.0f);
+        }
+        for (const FullyConnected &fc : model_.topLayers()) {
+            fc_accum_.emplace_back(
+                static_cast<size_t>(fc.paramCount()), 0.0f);
+        }
+        for (const EmbeddingTable &t : model_.tables()) {
+            table_accum_.emplace_back(
+                static_cast<size_t>(t.paramCount()), 0.0f);
+        }
+    }
+}
+
+float
+Trainer::stepSize(std::vector<float> &accum, size_t index, float grad)
+{
+    if (options_.optimizer == Optimizer::Sgd)
+        return options_.learningRate;
+    float &acc = accum[index];
+    acc += grad * grad;
+    return options_.learningRate /
+        (std::sqrt(acc) + options_.adagradEpsilon);
+}
+
+Trainer::Activations
+Trainer::forwardRetain(const ModelInput &input) const
+{
+    Activations acts;
+    const ModelConfig &cfg = model_.config();
+
+    int64_t batch = 0;
+    if (!model_.bottomLayers().empty()) {
+        acts.dense = input.dense.reshaped(input.dense.shape());
+        batch = acts.dense.dim(0);
+        Tensor x = acts.dense.reshaped(acts.dense.shape());
+        for (const FullyConnected &fc : model_.bottomLayers()) {
+            Tensor pre = fc.forward(x);
+            acts.bottomPre.push_back(pre.reshaped(pre.shape()));
+            reluInplace(pre);
+            acts.bottomPost.push_back(pre.reshaped(pre.shape()));
+            x = std::move(pre);
+        }
+    }
+
+    for (size_t t = 0; t < model_.tables().size(); ++t) {
+        const SparseInput &sp = input.sparse[t];
+        if (batch == 0)
+            batch = static_cast<int64_t>(sp.lengths.size());
+        acts.pooled.push_back(
+            model_.tables()[t].forward(sp.ids, sp.lengths));
+    }
+
+    std::vector<const Tensor *> features;
+    if (!acts.bottomPost.empty())
+        features.push_back(&acts.bottomPost.back());
+    for (const Tensor &p : acts.pooled)
+        features.push_back(&p);
+    acts.concat = concatCols(features);
+    RP_ASSERT(acts.concat.dim(1) == cfg.topInputDim(),
+              "concat width mismatch");
+
+    Tensor x = acts.concat.reshaped(acts.concat.shape());
+    const auto &top = model_.topLayers();
+    for (size_t i = 0; i < top.size(); ++i) {
+        Tensor pre = top[i].forward(x);
+        acts.topPre.push_back(pre.reshaped(pre.shape()));
+        if (i + 1 < top.size())
+            reluInplace(pre);
+        acts.topPost.push_back(pre.reshaped(pre.shape()));
+        x = std::move(pre);
+    }
+    acts.probabilities = sigmoid(acts.topPost.back());
+    return acts;
+}
+
+double
+Trainer::loss(const ModelInput &input,
+              const std::vector<float> &labels) const
+{
+    Activations acts = forwardRetain(input);
+    int64_t batch = acts.probabilities.dim(0);
+    RP_ASSERT(static_cast<int64_t>(labels.size()) == batch,
+              "%zu labels for batch %lld", labels.size(),
+              static_cast<long long>(batch));
+    double total = 0.0;
+    for (int64_t b = 0; b < batch; ++b) {
+        double p = acts.probabilities.at(b, 0);
+        double y = labels[static_cast<size_t>(b)];
+        total -= y * safeLog(p) + (1.0 - y) * safeLog(1.0 - p);
+    }
+    return total / static_cast<double>(batch);
+}
+
+double
+Trainer::accuracy(const ModelInput &input,
+                  const std::vector<float> &labels) const
+{
+    Activations acts = forwardRetain(input);
+    int64_t batch = acts.probabilities.dim(0);
+    RP_ASSERT(static_cast<int64_t>(labels.size()) == batch,
+              "label/batch mismatch");
+    int64_t correct = 0;
+    for (int64_t b = 0; b < batch; ++b) {
+        bool predicted = acts.probabilities.at(b, 0) >= 0.5f;
+        bool actual = labels[static_cast<size_t>(b)] >= 0.5f;
+        correct += predicted == actual ? 1 : 0;
+    }
+    return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+double
+Trainer::auc(const ModelInput &input,
+             const std::vector<float> &labels) const
+{
+    Activations acts = forwardRetain(input);
+    std::vector<float> scores;
+    for (int64_t b = 0; b < acts.probabilities.dim(0); ++b)
+        scores.push_back(acts.probabilities.at(b, 0));
+    return areaUnderRoc(scores, labels);
+}
+
+Tensor
+Trainer::backwardFc(FullyConnected &fc, const Tensor &x, const Tensor &dy,
+                    size_t state_index)
+{
+    const int64_t batch = x.dim(0);
+    const int64_t in = fc.inFeatures();
+    const int64_t out = fc.outFeatures();
+    RP_ASSERT(dy.dim(0) == batch && dy.dim(1) == out,
+              "FC backward shape mismatch");
+
+    // dX = dY * W — uses the pre-update weights.
+    Tensor dx({batch, in});
+    for (int64_t b = 0; b < batch; ++b) {
+        const float *dy_row = dy.data() + b * out;
+        float *dx_row = dx.data() + b * in;
+        for (int64_t j = 0; j < out; ++j) {
+            const float *w_row = fc.weight().data() + j * in;
+            float g = dy_row[j];
+            if (g == 0.0f)
+                continue;
+            for (int64_t k = 0; k < in; ++k)
+                dx_row[k] += g * w_row[k];
+        }
+    }
+
+    // Parameter update: dW = dY^T X, db = sum(dY), with the per-
+    // parameter step size of the configured optimizer.
+    const bool adagrad = options_.optimizer == Optimizer::Adagrad;
+    std::vector<float> *accum = adagrad ? &fc_accum_[state_index]
+                                        : nullptr;
+    const auto weight_count = static_cast<size_t>(in * out);
+    for (int64_t j = 0; j < out; ++j) {
+        float *w_row = fc.weight().data() + j * in;
+        double db = 0.0;
+        // Accumulate the full gradient first (Adagrad needs dW, not
+        // the per-sample contributions).
+        std::vector<float> dw(static_cast<size_t>(in), 0.0f);
+        for (int64_t b = 0; b < batch; ++b) {
+            float g = dy.data()[b * out + j];
+            if (g == 0.0f)
+                continue;
+            db += g;
+            const float *x_row = x.data() + b * in;
+            for (int64_t k = 0; k < in; ++k)
+                dw[static_cast<size_t>(k)] += g * x_row[k];
+        }
+        for (int64_t k = 0; k < in; ++k) {
+            float g = dw[static_cast<size_t>(k)];
+            if (g == 0.0f)
+                continue;
+            float lr = adagrad
+                ? stepSize(*accum, static_cast<size_t>(j * in + k), g)
+                : options_.learningRate;
+            w_row[k] -= lr * g;
+        }
+        float gb = static_cast<float>(db);
+        float lr = adagrad
+            ? stepSize(*accum, weight_count + static_cast<size_t>(j), gb)
+            : options_.learningRate;
+        fc.bias().at(j) -= lr * gb;
+    }
+    return dx;
+}
+
+double
+Trainer::step(const ModelInput &input, const std::vector<float> &labels)
+{
+    Activations acts = forwardRetain(input);
+    const int64_t batch = acts.probabilities.dim(0);
+    RP_ASSERT(static_cast<int64_t>(labels.size()) == batch,
+              "%zu labels for batch %lld", labels.size(),
+              static_cast<long long>(batch));
+
+    // Loss (reported pre-update) and its gradient at the logits:
+    // d BCE / d logit = (p - y) / batch.
+    double batch_loss = 0.0;
+    Tensor dlogits({batch, 1});
+    for (int64_t b = 0; b < batch; ++b) {
+        double p = acts.probabilities.at(b, 0);
+        double y = labels[static_cast<size_t>(b)];
+        batch_loss -= y * safeLog(p) + (1.0 - y) * safeLog(1.0 - p);
+        dlogits.at(b, 0) =
+            static_cast<float>((p - y) / static_cast<double>(batch));
+    }
+    batch_loss /= static_cast<double>(batch);
+
+    // --- Top-FC stack, last to first. ---
+    auto &top = model_.topLayers();
+    const size_t top_state_base = model_.bottomLayers().size();
+    Tensor dy = std::move(dlogits);
+    for (size_t i = top.size(); i-- > 0;) {
+        if (i + 1 < top.size()) {
+            // Undo the ReLU between layer i and i+1.
+            const Tensor &pre = acts.topPre[i];
+            for (int64_t n = 0; n < dy.size(); ++n) {
+                if (pre.data()[n] <= 0.0f)
+                    dy.data()[n] = 0.0f;
+            }
+        }
+        const Tensor &x = i == 0 ? acts.concat : acts.topPost[i - 1];
+        dy = backwardFc(top[i], x, dy, top_state_base + i);
+    }
+
+    // --- Split the concat gradient. ---
+    const ModelConfig &cfg = model_.config();
+    int64_t col = 0;
+    Tensor d_bottom;
+    if (!model_.bottomLayers().empty()) {
+        int64_t width = cfg.bottomOutDim();
+        d_bottom = Tensor({batch, width});
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t k = 0; k < width; ++k)
+                d_bottom.at(b, k) = dy.at(b, col + k);
+        }
+        col += width;
+    }
+
+    // --- Sparse embedding updates (rows touched this batch only). ---
+    const bool adagrad = options_.optimizer == Optimizer::Adagrad;
+    for (size_t t = 0; t < model_.tables().size(); ++t) {
+        EmbeddingTable &table = model_.tables()[t];
+        const SparseInput &sp = input.sparse[t];
+        const int64_t dim = table.dim();
+        size_t cursor = 0;
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t j = 0; j < sp.lengths[static_cast<size_t>(b)];
+                 ++j) {
+                int64_t id = sp.ids[cursor++];
+                float *row = table.table().data() + id * dim;
+                for (int64_t k = 0; k < dim; ++k) {
+                    float g = dy.at(b, col + k);
+                    if (g == 0.0f)
+                        continue;
+                    float lr = adagrad
+                        ? stepSize(table_accum_[t],
+                                   static_cast<size_t>(id * dim + k), g)
+                        : options_.learningRate;
+                    row[k] -= lr * g;
+                }
+            }
+        }
+        col += dim;
+    }
+    RP_ASSERT(col == cfg.topInputDim(), "concat gradient split mismatch");
+
+    // --- Bottom-FC stack. ---
+    auto &bottom = model_.bottomLayers();
+    if (!bottom.empty()) {
+        Tensor db = std::move(d_bottom);
+        for (size_t i = bottom.size(); i-- > 0;) {
+            const Tensor &pre = acts.bottomPre[i];
+            for (int64_t n = 0; n < db.size(); ++n) {
+                if (pre.data()[n] <= 0.0f)
+                    db.data()[n] = 0.0f;
+            }
+            const Tensor &x = i == 0 ? acts.dense : acts.bottomPost[i - 1];
+            db = backwardFc(bottom[i], x, db, i);
+        }
+    }
+    return batch_loss;
+}
+
+} // namespace recperf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SGD training for recommendation models.
+ *
+ * The paper's open-source benchmark (DLRM) supports training as well as
+ * inference, and §II notes that "sparse features ... make training more
+ * challenging": embedding gradients are *sparse* — only the rows
+ * gathered in the forward pass receive updates. This module implements
+ * exact backpropagation through the Fig 3 graph (Top-FC -> concat ->
+ * SparseLengthsSum / Bottom-FC) with binary cross-entropy on the
+ * predicted CTR, plus plain SGD with sparse embedding updates.
+ *
+ * Limitations: concat interaction only (the dot-interaction backward is
+ * not implemented), sum-reduction SLS.
+ */
+
+#ifndef RECPERF_TRAIN_TRAINER_HH
+#define RECPERF_TRAIN_TRAINER_HH
+
+#include <vector>
+
+#include "model/rec_model.hh"
+
+namespace recperf {
+
+/** Optimizer family. */
+enum class Optimizer
+{
+    Sgd,
+    /**
+     * Adagrad — the standard choice for sparse embedding training:
+     * per-parameter step sizes adapt to how often each row is touched,
+     * so rare IDs keep large steps while hot IDs anneal.
+     */
+    Adagrad,
+};
+
+/** Optimizer settings. */
+struct TrainOptions
+{
+    float learningRate = 0.05f;
+    Optimizer optimizer = Optimizer::Sgd;
+    float adagradEpsilon = 1e-8f;
+};
+
+/**
+ * Area under the ROC curve of scores against binary labels — the
+ * ranking-quality metric used for CTR models. 0.5 = random, 1 = perfect.
+ */
+double areaUnderRoc(const std::vector<float> &scores,
+                    const std::vector<float> &labels);
+
+/**
+ * Trains a RecModel in place with SGD on binary cross-entropy.
+ */
+class Trainer
+{
+  public:
+    /**
+     * @param model trained in place; must use Concat interaction.
+     */
+    Trainer(RecModel &model, const TrainOptions &options);
+
+    /**
+     * Mean binary cross-entropy of the model on a labeled batch
+     * (no parameter update).
+     */
+    double loss(const ModelInput &input,
+                const std::vector<float> &labels) const;
+
+    /**
+     * One SGD step on a labeled batch.
+     * @param labels clicks in {0, 1} (or soft targets in [0, 1]);
+     *        size must equal the batch.
+     * @return the batch loss *before* the update.
+     */
+    double step(const ModelInput &input, const std::vector<float> &labels);
+
+    /** Fraction of correct 0.5-thresholded predictions. */
+    double accuracy(const ModelInput &input,
+                    const std::vector<float> &labels) const;
+
+    /** AUC of the model's scores on a labeled batch. */
+    double auc(const ModelInput &input,
+               const std::vector<float> &labels) const;
+
+  private:
+    /** Forward pass retaining every intermediate needed for backward. */
+    struct Activations
+    {
+        Tensor dense;                      ///< input [batch, features]
+        std::vector<Tensor> bottomPre;     ///< FC outputs pre-ReLU
+        std::vector<Tensor> bottomPost;    ///< post-ReLU
+        std::vector<Tensor> pooled;        ///< per-table SLS outputs
+        Tensor concat;                     ///< top input
+        std::vector<Tensor> topPre;        ///< FC outputs pre-activation
+        std::vector<Tensor> topPost;       ///< post-ReLU (last = logits)
+        Tensor probabilities;              ///< sigmoid(logits)
+    };
+
+    Activations forwardRetain(const ModelInput &input) const;
+
+    /**
+     * Backward through one FC layer, applying the optimizer update.
+     * @param x layer input; @p dy gradient w.r.t. layer output.
+     * @param state_index which FC accumulator slot to use (Adagrad).
+     * @return gradient w.r.t. x.
+     */
+    Tensor backwardFc(FullyConnected &fc, const Tensor &x,
+                      const Tensor &dy, size_t state_index);
+
+    /** Optimizer step size for one parameter (updates its accumulator). */
+    float stepSize(std::vector<float> &accum, size_t index, float grad);
+
+    RecModel &model_;
+    TrainOptions options_;
+
+    /** Adagrad accumulators: one per FC (weights+bias) and per table. */
+    std::vector<std::vector<float>> fc_accum_;
+    std::vector<std::vector<float>> table_accum_;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_TRAIN_TRAINER_HH

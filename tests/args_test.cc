@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/args.hh"
+#include "core/logging.hh"
+
+namespace recperf {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser p("prog", "test program");
+    p.addFlag("verbose", "chatty output");
+    p.addOption("batch", "16", "batch size");
+    p.addOption("rate", "1.5", "arrival rate");
+    return p;
+}
+
+TEST(ArgParser, DefaultsApply)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({}, &err)) << err;
+    EXPECT_FALSE(p.flag("verbose"));
+    EXPECT_EQ(p.option("batch"), "16");
+    EXPECT_EQ(p.optionInt("batch"), 16);
+    EXPECT_DOUBLE_EQ(p.optionDouble("rate"), 1.5);
+}
+
+TEST(ArgParser, SpaceSeparatedValue)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"--batch", "64"}, &err)) << err;
+    EXPECT_EQ(p.optionInt("batch"), 64);
+}
+
+TEST(ArgParser, EqualsValue)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"--batch=128", "--rate=2.25"}, &err)) << err;
+    EXPECT_EQ(p.optionInt("batch"), 128);
+    EXPECT_DOUBLE_EQ(p.optionDouble("rate"), 2.25);
+}
+
+TEST(ArgParser, FlagSetting)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"--verbose"}, &err)) << err;
+    EXPECT_TRUE(p.flag("verbose"));
+}
+
+TEST(ArgParser, PositionalArguments)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"run", "--batch", "8", "extra"}, &err)) << err;
+    EXPECT_EQ(p.positional(),
+              (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(ArgParser, UnknownArgumentFails)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    EXPECT_FALSE(p.parse({"--bogus"}, &err));
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    EXPECT_FALSE(p.parse({"--batch"}, &err));
+    EXPECT_NE(err.find("batch"), std::string::npos);
+}
+
+TEST(ArgParser, FlagWithValueFails)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    EXPECT_FALSE(p.parse({"--verbose=yes"}, &err));
+}
+
+TEST(ArgParser, BadIntegerFatal)
+{
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"--batch", "soup"}, &err));
+    EXPECT_THROW(p.optionInt("batch"), FatalError);
+}
+
+TEST(ArgParser, UnknownLookupPanics)
+{
+    ArgParser p = makeParser();
+    EXPECT_THROW(p.flag("nope"), PanicError);
+    EXPECT_THROW(p.option("nope"), PanicError);
+}
+
+TEST(ArgParser, DuplicateRegistrationPanics)
+{
+    ArgParser p = makeParser();
+    EXPECT_THROW(p.addFlag("batch", "dup"), PanicError);
+}
+
+TEST(ArgParser, HelpTextMentionsEverything)
+{
+    ArgParser p = makeParser();
+    std::string help = p.helpText();
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+    EXPECT_NE(help.find("--batch"), std::string::npos);
+    EXPECT_NE(help.find("default: 16"), std::string::npos);
+}
+
+} // namespace
+} // namespace recperf

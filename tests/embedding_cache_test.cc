@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the software embedding-vector cache (LRU/LFU).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "trace/embedding_cache.hh"
+
+namespace recperf {
+namespace {
+
+TEST(EmbeddingCache, RejectsZeroCapacity)
+{
+    EXPECT_THROW(EmbeddingVectorCache(0, CachePolicy::Lru), PanicError);
+}
+
+TEST(EmbeddingCache, PolicyNames)
+{
+    EXPECT_STREQ(cachePolicyName(CachePolicy::Lru), "LRU");
+    EXPECT_STREQ(cachePolicyName(CachePolicy::Lfu), "LFU");
+}
+
+TEST(EmbeddingCache, MissThenHit)
+{
+    EmbeddingVectorCache cache(4, CachePolicy::Lru);
+    EXPECT_FALSE(cache.access(7));
+    EXPECT_TRUE(cache.access(7));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(EmbeddingCache, CapacityEnforced)
+{
+    EmbeddingVectorCache cache(3, CachePolicy::Lru);
+    for (uint64_t k = 0; k < 5; ++k)
+        cache.access(k);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EmbeddingCache, LruEvictsLeastRecent)
+{
+    EmbeddingVectorCache cache(3, CachePolicy::Lru);
+    cache.access(1);
+    cache.access(2);
+    cache.access(3);
+    cache.access(1);     // 2 is now LRU
+    cache.access(4);     // evicts 2
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(EmbeddingCache, LfuKeepsHotRows)
+{
+    EmbeddingVectorCache cache(3, CachePolicy::Lfu);
+    for (int i = 0; i < 10; ++i)
+        cache.access(100); // very hot
+    cache.access(1);
+    cache.access(2);
+    // Insert a new key: the cold key (1, LRU tie-break among freq-1)
+    // is evicted, never the hot one.
+    cache.access(3);
+    EXPECT_TRUE(cache.contains(100));
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(EmbeddingCache, LfuBeatsLruOnScanPollution)
+{
+    // A hot set plus a one-off scan: LFU protects the hot rows, LRU
+    // lets the scan flush them.
+    auto run = [](CachePolicy policy) {
+        EmbeddingVectorCache cache(8, policy);
+        for (int round = 0; round < 50; ++round) {
+            // The hot rows are referenced several times per round, so
+            // LFU can build up frequency before the scan arrives.
+            for (int rep = 0; rep < 3; ++rep) {
+                for (uint64_t hot = 0; hot < 6; ++hot)
+                    cache.access(hot);
+            }
+            // Scan of cold keys.
+            for (uint64_t cold = 0; cold < 8; ++cold)
+                cache.access(1000 + 8ull * static_cast<uint64_t>(round) +
+                             cold);
+        }
+        return cache.hitRate();
+    };
+    EXPECT_GT(run(CachePolicy::Lfu), run(CachePolicy::Lru));
+}
+
+TEST(EmbeddingCache, ResetStatsKeepsContents)
+{
+    EmbeddingVectorCache cache(4, CachePolicy::Lru);
+    cache.access(1);
+    cache.resetStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.access(1));
+}
+
+TEST(EmbeddingCache, HitRateGrowsWithCapacity)
+{
+    Rng rng(5);
+    double prev = -1.0;
+    for (size_t capacity : {100, 1000, 10'000, 100'000}) {
+        ZipfGen gen(1'000'000, 1.0, rng.split());
+        double rate = simulateCacheHitRate(gen, 30'000, capacity,
+                                           CachePolicy::Lru);
+        EXPECT_GT(rate, prev) << "capacity " << capacity;
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.4); // 10% of rows cached under zipf(1.0)
+}
+
+TEST(EmbeddingCache, HitRateTracksTraceLocality)
+{
+    // Fig 14's implication: low-uniqueness traces cache far better.
+    Rng rng(7);
+    auto profiles = productionTraceProfiles();
+    auto hot = makeGenerator(profiles.back(), 5'000'000, rng.split());
+    auto cold = makeGenerator(profiles.front(), 5'000'000, rng.split());
+    double hot_rate = simulateCacheHitRate(*hot, 20'000, 20'000,
+                                           CachePolicy::Lru);
+    double cold_rate = simulateCacheHitRate(*cold, 20'000, 20'000,
+                                            CachePolicy::Lru);
+    EXPECT_GT(hot_rate, 0.8);
+    EXPECT_LT(cold_rate, 0.5);
+}
+
+TEST(EmbeddingCache, UniformTraceBarelyCaches)
+{
+    Rng rng(9);
+    UniformGen gen(10'000'000, rng.split());
+    double rate = simulateCacheHitRate(gen, 20'000, 10'000,
+                                       CachePolicy::Lru);
+    EXPECT_LT(rate, 0.02);
+}
+
+} // namespace
+} // namespace recperf

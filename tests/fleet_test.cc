@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the fleet mix model (Figs 1 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "fleet/fleet_mix.hh"
+#include "machine/machine_spec.hh"
+
+namespace recperf {
+namespace {
+
+TEST(FleetMix, SharesMustSumToOne)
+{
+    std::vector<FleetEntry> bad = {
+        {"a", ModelClass::RMC1, 0.5, {}},
+        {"b", ModelClass::Other, 0.6, {}},
+    };
+    EXPECT_THROW(FleetMix(std::move(bad)), PanicError);
+}
+
+TEST(FleetMix, NegativeShareRejected)
+{
+    std::vector<FleetEntry> bad = {
+        {"a", ModelClass::RMC1, -0.5, {}},
+        {"b", ModelClass::Other, 1.5, {}},
+    };
+    EXPECT_THROW(FleetMix(std::move(bad)), PanicError);
+}
+
+class ProductionFleet : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        mix_ = new FleetMix(FleetMix::productionDefault(broadwell()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete mix_;
+        mix_ = nullptr;
+    }
+
+    static FleetMix *mix_;
+};
+
+FleetMix *ProductionFleet::mix_ = nullptr;
+
+TEST_F(ProductionFleet, Fig1RmcShare)
+{
+    // RMC1+RMC2+RMC3 consume 65% of AI inference cycles.
+    EXPECT_NEAR(mix_->rmcShare(), 0.65, 1e-9);
+}
+
+TEST_F(ProductionFleet, Fig1RecommendationShare)
+{
+    // All recommendation >= 79%.
+    EXPECT_GE(mix_->recommendationShare(), 0.79 - 1e-9);
+}
+
+TEST_F(ProductionFleet, ModelSharesSumToOne)
+{
+    double total = 0.0;
+    for (const auto &[name, share] : mix_->modelShares())
+        total += share;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ProductionFleet, Fig4OperatorShares)
+{
+    auto shares = mix_->operatorShares();
+    double fc = shares.recommendation[OpKind::FC];
+    double sls = shares.recommendation[OpKind::SLS];
+    double concat = shares.recommendation[OpKind::Concat];
+
+    // Fig 4: FC + SLS + Concat comprise over 45% of all cycles, and
+    // SLS alone is a sizeable slice (paper: ~15%; our zoo's RMC2 is
+    // somewhat more SLS-bound, so we accept a wider band).
+    EXPECT_GT(fc + sls + concat, 0.45);
+    EXPECT_GT(sls, 0.08);
+    EXPECT_LT(sls, 0.45);
+
+    // Conv cycles exist but belong to non-recommendation models only.
+    EXPECT_EQ(shares.recommendation.count(OpKind::Conv), 0u);
+    EXPECT_GT(shares.nonRecommendation[OpKind::Conv], 0.0);
+}
+
+TEST_F(ProductionFleet, OperatorSharesSumToOne)
+{
+    auto shares = mix_->operatorShares();
+    double total = 0.0;
+    for (const auto &[kind, s] : shares.recommendation)
+        total += s;
+    for (const auto &[kind, s] : shares.nonRecommendation)
+        total += s;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_F(ProductionFleet, SlsDwarfsConvAndRecurrent)
+{
+    // §II-B: SLS alone consumes several times the cycles of CNNs or
+    // RNNs fleet-wide (paper: 4x and 20x).
+    auto shares = mix_->operatorShares();
+    double sls = shares.recommendation[OpKind::SLS];
+    double conv = shares.nonRecommendation[OpKind::Conv];
+    double rnn = shares.nonRecommendation[OpKind::Recurrent];
+    EXPECT_GT(sls, conv);
+    EXPECT_GT(sls, rnn);
+}
+
+} // namespace
+} // namespace recperf

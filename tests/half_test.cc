@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for IEEE binary16 conversion and fp16 embedding tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "ops/half.hh"
+
+namespace recperf {
+namespace {
+
+TEST(Half, ExactValues)
+{
+    // Values exactly representable in binary16 round-trip exactly.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 1024.0f,
+                    65504.0f, -65504.0f, 0.0009765625f}) {
+        EXPECT_EQ(halfToFloat(floatToHalf(v)), v) << v;
+    }
+}
+
+TEST(Half, SignedZero)
+{
+    EXPECT_EQ(floatToHalf(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalf(-0.0f), 0x8000);
+    EXPECT_EQ(halfToFloat(0x8000), -0.0f);
+    EXPECT_TRUE(std::signbit(halfToFloat(0x8000)));
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalf(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalf(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalf(-2.0f), 0xc000);
+    EXPECT_EQ(floatToHalf(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalf(65504.0f), 0x7bff); // max finite half
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalf(1e6f), 0x7c00);
+    EXPECT_EQ(floatToHalf(-1e6f), 0xfc00);
+    EXPECT_TRUE(std::isinf(halfToFloat(0x7c00)));
+    EXPECT_LT(halfToFloat(0xfc00), 0.0f);
+}
+
+TEST(Half, NanPreserved)
+{
+    uint16_t h = floatToHalf(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(halfToFloat(h)));
+}
+
+TEST(Half, Subnormals)
+{
+    // Smallest positive subnormal half = 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(floatToHalf(tiny), 0x0001);
+    EXPECT_EQ(halfToFloat(0x0001), tiny);
+    // Below half the smallest subnormal underflows to zero.
+    EXPECT_EQ(floatToHalf(std::ldexp(1.0f, -26)), 0x0000);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half
+    // (1 + 2^-10); ties round to even (1.0).
+    float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(floatToHalf(halfway), 0x3c00);
+    // Slightly above the tie rounds up.
+    float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
+    EXPECT_EQ(floatToHalf(above), 0x3c01);
+}
+
+TEST(Half, RelativeErrorBound)
+{
+    // Normal-range conversions stay within 2^-11 relative error.
+    Rng rng(1);
+    for (int i = 0; i < 20'000; ++i) {
+        float v = rng.nextFloat(-1000.0f, 1000.0f);
+        if (std::fabs(v) < 1e-3f)
+            continue;
+        float back = halfToFloat(floatToHalf(v));
+        EXPECT_NEAR(back, v, std::fabs(v) * 4.9e-4f) << v;
+    }
+}
+
+TEST(HalfEmbedding, StorageHalved)
+{
+    Rng rng(2);
+    EmbeddingTable table(100, 32, rng);
+    HalfEmbeddingTable half(table);
+    EXPECT_EQ(half.rowBytes(), 64);
+    EXPECT_EQ(half.storageBytes() * 2, table.storageBytes());
+}
+
+TEST(HalfEmbedding, ForwardCloseToFp32)
+{
+    Rng rng(3);
+    EmbeddingTable table(500, 32, rng);
+    HalfEmbeddingTable half(table);
+    std::vector<int64_t> ids, lengths;
+    for (int b = 0; b < 8; ++b) {
+        lengths.push_back(20);
+        for (int j = 0; j < 20; ++j)
+            ids.push_back(rng.nextInt(0, 499));
+    }
+    Tensor exact = table.forward(ids, lengths);
+    Tensor approx = half.forward(ids, lengths);
+    EXPECT_TRUE(approx.allClose(exact, 2e-3f));
+}
+
+TEST(HalfEmbedding, MeanReduction)
+{
+    Rng rng(4);
+    EmbeddingTable table(10, 4, rng);
+    HalfEmbeddingTable half(table);
+    Tensor sum = half.forward({0, 1}, {2});
+    Tensor mean = half.forward({0, 1}, {2}, SlsReduction::Mean);
+    for (int64_t c = 0; c < 4; ++c)
+        EXPECT_NEAR(mean.at(0, c), sum.at(0, c) / 2.0f, 1e-6f);
+}
+
+TEST(HalfEmbedding, Validation)
+{
+    Rng rng(5);
+    EmbeddingTable table(10, 4, rng);
+    HalfEmbeddingTable half(table);
+    EXPECT_THROW(half.forward({0}, {2}), PanicError);
+    float row[4];
+    EXPECT_THROW(half.expandRow(10, row), PanicError);
+}
+
+} // namespace
+} // namespace recperf

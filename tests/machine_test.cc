@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the machine specs (Table II) and the SIMD model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+
+namespace recperf {
+namespace {
+
+TEST(MachineSpec, TableIIHaswell)
+{
+    MachineSpec m = haswell();
+    EXPECT_EQ(m.name, "Haswell");
+    EXPECT_DOUBLE_EQ(m.freqGHz, 2.5);
+    EXPECT_EQ(m.coresPerSocket, 12u);
+    EXPECT_EQ(m.sockets, 2u);
+    EXPECT_EQ(m.simd.isa, SimdIsa::AVX2);
+    EXPECT_EQ(m.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(m.l3.sizeBytes, 30ull * 1024 * 1024);
+    EXPECT_EQ(m.policy, InclusionPolicy::Inclusive);
+    EXPECT_EQ(m.dram.ddrType, "DDR3");
+    EXPECT_DOUBLE_EQ(m.dram.ddrFreqMHz, 1600.0);
+    EXPECT_DOUBLE_EQ(m.dram.bandwidthGBps, 51.0);
+}
+
+TEST(MachineSpec, TableIIBroadwell)
+{
+    MachineSpec m = broadwell();
+    EXPECT_DOUBLE_EQ(m.freqGHz, 2.4);
+    EXPECT_EQ(m.coresPerSocket, 14u);
+    EXPECT_EQ(m.simd.isa, SimdIsa::AVX2);
+    EXPECT_EQ(m.l3.sizeBytes, 35ull * 1024 * 1024);
+    EXPECT_EQ(m.policy, InclusionPolicy::Inclusive);
+    EXPECT_EQ(m.dram.ddrType, "DDR4");
+    EXPECT_DOUBLE_EQ(m.dram.bandwidthGBps, 77.0);
+}
+
+TEST(MachineSpec, TableIISkylake)
+{
+    MachineSpec m = skylake();
+    EXPECT_DOUBLE_EQ(m.freqGHz, 2.0);
+    EXPECT_EQ(m.coresPerSocket, 20u);
+    EXPECT_EQ(m.simd.isa, SimdIsa::AVX512);
+    EXPECT_EQ(m.l2.sizeBytes, 1024u * 1024); // 4x larger L2
+    EXPECT_EQ(m.policy, InclusionPolicy::Exclusive);
+    EXPECT_DOUBLE_EQ(m.dram.ddrFreqMHz, 2666.0);
+}
+
+TEST(MachineSpec, FleetHasThreeGenerations)
+{
+    auto fleet = fleetMachines();
+    ASSERT_EQ(fleet.size(), 3u);
+    EXPECT_EQ(fleet[0].name, "Haswell");
+    EXPECT_EQ(fleet[1].name, "Broadwell");
+    EXPECT_EQ(fleet[2].name, "Skylake");
+}
+
+TEST(MachineSpec, TotalCores)
+{
+    EXPECT_EQ(haswell().totalCores(), 24u);
+    EXPECT_EQ(broadwell().totalCores(), 28u);
+    EXPECT_EQ(skylake().totalCores(), 40u);
+}
+
+TEST(MachineSpec, DramLatencyCycles)
+{
+    // 90 ns at 2.4 GHz = 216 cycles.
+    EXPECT_EQ(broadwell().dramLatencyCycles(), 216u);
+}
+
+TEST(MachineSpec, StreamFasterAtInnerLevels)
+{
+    MachineSpec m = broadwell();
+    double bytes = 1e6;
+    EXPECT_LT(m.streamSeconds(HitLevel::L1, bytes),
+              m.streamSeconds(HitLevel::L2, bytes));
+    EXPECT_LT(m.streamSeconds(HitLevel::L2, bytes),
+              m.streamSeconds(HitLevel::L3, bytes));
+    EXPECT_LT(m.streamSeconds(HitLevel::L3, bytes),
+              m.streamSeconds(HitLevel::Memory, bytes));
+}
+
+TEST(MachineSpec, GatherSlowerThanStreamFromDram)
+{
+    // Random 64 B gathers achieve a small fraction of stream bandwidth.
+    MachineSpec m = broadwell();
+    double lines = 1000;
+    double bytes = lines * 64;
+    EXPECT_GT(m.gatherSeconds(HitLevel::Memory, lines),
+              10 * m.streamSeconds(HitLevel::Memory, bytes));
+}
+
+TEST(MachineSpec, GatherBandwidthNearOneGBps)
+{
+    // §V: SLS sustains ~1 GB/s of DRAM bandwidth on Broadwell.
+    MachineSpec m = broadwell();
+    EXPECT_NEAR(m.dram.gatherGBps(), 1.0, 0.4);
+}
+
+TEST(MachineSpec, HaswellGatherSlowerThanBroadwell)
+{
+    // DDR3-1600 vs DDR4-2400: the mechanism behind Takeaway 3.
+    double lines = 1000;
+    EXPECT_GT(haswell().gatherSeconds(HitLevel::Memory, lines),
+              broadwell().gatherSeconds(HitLevel::Memory, lines));
+}
+
+TEST(MachineSpec, DispatchOverheadScalesWithFrequency)
+{
+    // Same cycle cost, lower frequency => more seconds (why Skylake
+    // loses on dispatch-heavy, small-batch inference).
+    EXPECT_GT(skylake().dispatchSeconds(OpKind::FC),
+              broadwell().dispatchSeconds(OpKind::FC));
+}
+
+TEST(MachineSpec, DispatchHeavierForFcThanActivation)
+{
+    MachineSpec m = broadwell();
+    EXPECT_GT(m.dispatchCyclesFor(OpKind::FC),
+              m.dispatchCyclesFor(OpKind::SLS));
+    EXPECT_GT(m.dispatchCyclesFor(OpKind::SLS),
+              m.dispatchCyclesFor(OpKind::Activation));
+}
+
+TEST(MachineSpec, MakeHierarchyMatchesPolicy)
+{
+    auto bdw = broadwell().makeHierarchy(4);
+    EXPECT_EQ(bdw->policy(), InclusionPolicy::Inclusive);
+    EXPECT_EQ(bdw->numCores(), 4u);
+    auto skl = skylake().makeHierarchy(2);
+    EXPECT_EQ(skl->policy(), InclusionPolicy::Exclusive);
+    EXPECT_EQ(skl->l3().sizeBytes(), skylake().l3.sizeBytes);
+}
+
+TEST(SimdModel, LaneWidths)
+{
+    EXPECT_EQ(simdLanes(SimdIsa::AVX2), 8);
+    EXPECT_EQ(simdLanes(SimdIsa::AVX512), 16);
+    EXPECT_STREQ(simdIsaName(SimdIsa::AVX512), "AVX-512");
+}
+
+TEST(SimdModel, PeakFlops)
+{
+    EXPECT_DOUBLE_EQ(makeAvx2Model().peakFlopsPerCycle(), 32.0);
+    EXPECT_DOUBLE_EQ(makeAvx512Model().peakFlopsPerCycle(), 64.0);
+}
+
+TEST(SimdModel, EfficiencyMonotoneInBatch)
+{
+    for (const SimdModel &m : {makeAvx2Model(), makeAvx512Model()}) {
+        double prev = 0.0;
+        for (int64_t b : {1, 2, 4, 8, 16, 64, 256, 1024}) {
+            double e = m.efficiency(b);
+            EXPECT_GE(e, prev);
+            EXPECT_LE(e, m.baseEfficiency + 1e-12);
+            prev = e;
+        }
+    }
+}
+
+TEST(SimdModel, Avx512NeedsLargerBatch)
+{
+    // At batch 16 the AVX-2 machine is closer to its peak than the
+    // AVX-512 machine is to its own (the §V underutilization).
+    SimdModel avx2 = makeAvx2Model();
+    SimdModel avx512 = makeAvx512Model();
+    EXPECT_GT(avx2.efficiency(16) / avx2.baseEfficiency,
+              avx512.efficiency(16) / avx512.baseEfficiency);
+}
+
+TEST(SimdModel, CrossoverNearBatch64)
+{
+    // Fig 8: Skylake's achieved GEMM rate overtakes Broadwell's
+    // between batch 16 and batch 64.
+    MachineSpec bdw = broadwell(), skl = skylake();
+    auto rate = [](const MachineSpec &m, int64_t b) {
+        return m.simd.achievedFlopsPerCycle(b) * m.cyclesPerSecond();
+    };
+    EXPECT_GT(rate(bdw, 16), rate(skl, 16));
+    EXPECT_LT(rate(bdw, 64), rate(skl, 64));
+    EXPECT_LT(rate(bdw, 256), rate(skl, 256));
+}
+
+TEST(SimdModel, EfficiencyRejectsBadBatch)
+{
+    EXPECT_THROW(makeAvx2Model().efficiency(0), PanicError);
+}
+
+} // namespace
+} // namespace recperf

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the NeuMF (MLPerf-NCF) baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "model/ncf.hh"
+#include "model/zoo.hh"
+
+namespace recperf {
+namespace {
+
+NcfConfig
+tinyNcf()
+{
+    NcfConfig c;
+    c.numUsers = 50;
+    c.numItems = 30;
+    c.gmfDim = 8;
+    c.mlpDim = 4;
+    c.mlpLayers = {16, 8};
+    return c;
+}
+
+TEST(Ncf, OutputShapeAndRange)
+{
+    Rng rng(1);
+    NcfModel model(tinyNcf(), rng);
+    NcfInput input = model.randomInput(7, rng);
+    Tensor p = model.forward(input);
+    EXPECT_EQ(p.shape(), (Shape{7, 1}));
+    for (int64_t i = 0; i < p.size(); ++i) {
+        EXPECT_GT(p.at(i), 0.0f);
+        EXPECT_LT(p.at(i), 1.0f);
+    }
+}
+
+TEST(Ncf, Deterministic)
+{
+    Rng a(3), b(3);
+    NcfModel ma(tinyNcf(), a), mb(tinyNcf(), b);
+    Rng in_a(5), in_b(5);
+    EXPECT_TRUE(ma.forward(ma.randomInput(4, in_a))
+                    .allClose(mb.forward(mb.randomInput(4, in_b))));
+}
+
+TEST(Ncf, BatchConsistency)
+{
+    Rng rng(7);
+    NcfModel model(tinyNcf(), rng);
+    Rng in_rng(9);
+    NcfInput batch = model.randomInput(4, in_rng);
+    Tensor full = model.forward(batch);
+    for (size_t s = 0; s < 4; ++s) {
+        NcfInput one{{batch.userIds[s]}, {batch.itemIds[s]}};
+        Tensor p = model.forward(one);
+        EXPECT_NEAR(p.at(static_cast<int64_t>(0)),
+                    full.at(static_cast<int64_t>(s)), 1e-5f);
+    }
+}
+
+TEST(Ncf, SameUserItemPairGivesSameScore)
+{
+    Rng rng(11);
+    NcfModel model(tinyNcf(), rng);
+    NcfInput input{{5, 5}, {9, 9}};
+    Tensor p = model.forward(input);
+    EXPECT_FLOAT_EQ(p.at(static_cast<int64_t>(0)),
+                    p.at(static_cast<int64_t>(1)));
+}
+
+TEST(Ncf, DifferentItemsGiveDifferentScores)
+{
+    Rng rng(13);
+    NcfModel model(tinyNcf(), rng);
+    NcfInput input{{5, 5}, {9, 10}};
+    Tensor p = model.forward(input);
+    EXPECT_NE(p.at(static_cast<int64_t>(0)), p.at(static_cast<int64_t>(1)));
+}
+
+TEST(Ncf, RejectsMismatchedInputs)
+{
+    Rng rng(1);
+    NcfModel model(tinyNcf(), rng);
+    NcfInput bad{{1, 2}, {3}};
+    EXPECT_THROW(model.forward(bad), PanicError);
+    NcfInput empty{{}, {}};
+    EXPECT_THROW(model.forward(empty), PanicError);
+}
+
+TEST(Ncf, ParamCountFormula)
+{
+    NcfConfig c = tinyNcf();
+    Rng rng(1);
+    NcfModel model(c, rng);
+    int64_t emb = (c.numUsers + c.numItems) * (c.gmfDim + c.mlpDim);
+    int64_t mlp = (2 * c.mlpDim) * 16 + 16 + 16 * 8 + 8;
+    int64_t final = (c.gmfDim + 8) * 1 + 1;
+    EXPECT_EQ(model.paramCount(), emb + mlp + final);
+}
+
+TEST(Ncf, DefaultConfigIsMovieLensScale)
+{
+    NcfConfig c;
+    EXPECT_EQ(c.numUsers, 138'000);
+    EXPECT_EQ(c.numItems, 27'000);
+    // Full model runs at the real MLPerf scale (tables are only ~50 MB
+    // total — that is the paper's point in Fig 12).
+    Rng rng(17);
+    NcfModel model(c, rng);
+    EXPECT_LT(model.paramCount() * 4, 100 * 1'000'000);
+    NcfInput input = model.randomInput(2, rng);
+    EXPECT_EQ(model.forward(input).shape(), (Shape{2, 1}));
+}
+
+TEST(Ncf, ConfigApproximationConsistent)
+{
+    // The ModelConfig view of NCF used for characterization agrees with
+    // the functional model's scale (same order of embedding params).
+    Rng rng(19);
+    NcfModel model(NcfConfig{}, rng);
+    ModelConfig approx = ncfConfig();
+    double ratio = static_cast<double>(approx.embParamCount()) /
+        static_cast<double>(model.paramCount());
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+} // namespace
+} // namespace recperf

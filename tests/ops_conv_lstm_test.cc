@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the CNN (conv2d) and RNN (LSTM) baseline operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "ops/conv.hh"
+#include "ops/lstm.hh"
+
+namespace recperf {
+namespace {
+
+// ---------------------------------------------------------------- Conv2d
+
+TEST(Conv2d, OutputGeometry)
+{
+    Conv2d c(3, 8, 3, /*stride=*/1, /*padding=*/1);
+    EXPECT_EQ(c.outSize(14), 14); // same-padding
+    Conv2d s(3, 8, 3, /*stride=*/2, /*padding=*/1);
+    EXPECT_EQ(s.outSize(14), 7);
+    Conv2d v(3, 8, 3);
+    EXPECT_EQ(v.outSize(14), 12); // valid
+}
+
+TEST(Conv2d, RejectsBadConfig)
+{
+    EXPECT_THROW(Conv2d(0, 1, 3), PanicError);
+    EXPECT_THROW(Conv2d(1, 1, 3, 0), PanicError);
+    Conv2d c(1, 1, 5);
+    EXPECT_THROW(c.outSize(3), PanicError); // kernel > input
+}
+
+TEST(Conv2d, IdentityKernel)
+{
+    // 1x1 kernel with weight 1 copies the input channel.
+    Conv2d c(1, 1, 1);
+    c.weight().at(static_cast<int64_t>(0)) = 1.0f;
+    Rng rng(1);
+    Tensor x({1, 1, 4, 4});
+    x.fillUniform(rng, -1.0f, 1.0f);
+    Tensor y = c.forward(x);
+    EXPECT_TRUE(y.allClose(x));
+}
+
+TEST(Conv2d, BoxFilterSum)
+{
+    // 3x3 all-ones kernel on an all-ones image (valid padding) sums 9.
+    Conv2d c(1, 1, 3);
+    c.weight().fill(1.0f);
+    Tensor x({1, 1, 5, 5}, 1.0f);
+    Tensor y = c.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+    for (int64_t i = 0; i < y.size(); ++i)
+        EXPECT_FLOAT_EQ(y.at(i), 9.0f);
+}
+
+TEST(Conv2d, ZeroPaddingBorders)
+{
+    // Same box filter with padding 1: corners only see 4 input cells.
+    Conv2d c(1, 1, 3, 1, 1);
+    c.weight().fill(1.0f);
+    Tensor x({1, 1, 3, 3}, 1.0f);
+    Tensor y = c.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{1, 1, 3, 3}));
+    EXPECT_FLOAT_EQ(y.data()[0], 4.0f); // corner
+    EXPECT_FLOAT_EQ(y.data()[1], 6.0f); // edge
+    EXPECT_FLOAT_EQ(y.data()[4], 9.0f); // center
+}
+
+TEST(Conv2d, BiasApplied)
+{
+    Conv2d c(1, 2, 1);
+    c.bias().at(static_cast<int64_t>(0)) = 1.5f;
+    c.bias().at(static_cast<int64_t>(1)) = -2.0f;
+    Tensor x({1, 1, 2, 2});
+    Tensor y = c.forward(x);
+    EXPECT_FLOAT_EQ(y.data()[0], 1.5f);
+    EXPECT_FLOAT_EQ(y.data()[4], -2.0f);
+}
+
+TEST(Conv2d, ChannelsAccumulate)
+{
+    Conv2d c(2, 1, 1);
+    c.weight().at(static_cast<int64_t>(0)) = 2.0f; // channel 0
+    c.weight().at(static_cast<int64_t>(1)) = 3.0f; // channel 1
+    Tensor x({1, 2, 1, 1});
+    x.at(static_cast<int64_t>(0)) = 10.0f;
+    x.at(static_cast<int64_t>(1)) = 100.0f;
+    Tensor y = c.forward(x);
+    EXPECT_FLOAT_EQ(y.at(static_cast<int64_t>(0)), 320.0f);
+}
+
+TEST(Conv2d, Linearity)
+{
+    Rng rng(2);
+    Conv2d c(3, 4, 3, 1, 1, rng);
+    c.bias().fill(0.0f);
+    Tensor x({2, 3, 6, 6});
+    x.fillUniform(rng, -1.0f, 1.0f);
+    Tensor y1 = c.forward(x);
+    Tensor x2 = x.reshaped(x.shape());
+    for (int64_t i = 0; i < x2.size(); ++i)
+        x2.at(i) *= 2.0f;
+    Tensor y2 = c.forward(x2);
+    for (int64_t i = 0; i < y1.size(); ++i)
+        EXPECT_NEAR(y2.at(i), 2.0f * y1.at(i), 1e-4f);
+}
+
+TEST(Conv2d, InputValidation)
+{
+    Conv2d c(3, 4, 3);
+    EXPECT_THROW(c.forward(Tensor({1, 2, 8, 8})), PanicError);
+    EXPECT_THROW(c.forward(Tensor({3, 8, 8})), PanicError);
+}
+
+TEST(Conv2d, CostMatchesClosedForm)
+{
+    OpCost c = Conv2d::cost(2, 16, 32, 3, 14, 14);
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 2 * 32 * 14 * 14 * 16 * 9);
+    EXPECT_GT(c.intensity(), 50.0); // CNN layers are compute-dense
+}
+
+// --------------------------------------------------------------- LstmCell
+
+TEST(Lstm, StateShapes)
+{
+    LstmCell cell(6, 10);
+    LstmState s = cell.initialState(3);
+    EXPECT_EQ(s.h.shape(), (Shape{3, 10}));
+    EXPECT_EQ(s.c.shape(), (Shape{3, 10}));
+    EXPECT_EQ(cell.paramCount(), (6 * 40 + 40) + (10 * 40 + 40));
+}
+
+TEST(Lstm, ZeroEverythingGivesZeroOutput)
+{
+    LstmCell cell(4, 8);
+    Tensor x({2, 4});
+    LstmState s = cell.forward(x, cell.initialState(2));
+    // gates: sigmoid(0)=0.5, tanh(0)=0: c = 0.5*0 + 0.5*0 = 0; h = 0.
+    for (int64_t i = 0; i < s.h.size(); ++i) {
+        EXPECT_FLOAT_EQ(s.c.at(i), 0.0f);
+        EXPECT_FLOAT_EQ(s.h.at(i), 0.0f);
+    }
+}
+
+TEST(Lstm, ForgetGateExtremes)
+{
+    // Huge positive forget bias keeps the cell state; huge negative
+    // erases it.
+    for (float bias : {50.0f, -50.0f}) {
+        LstmCell cell(1, 1);
+        cell.inputGates().bias().at(static_cast<int64_t>(1)) = bias;
+        LstmState s = cell.initialState(1);
+        s.c.at(static_cast<int64_t>(0)) = 0.7f;
+        Tensor x({1, 1});
+        LstmState next = cell.forward(x, s);
+        float expected = bias > 0 ? 0.7f : 0.0f;
+        EXPECT_NEAR(next.c.at(static_cast<int64_t>(0)), expected, 1e-5f);
+    }
+}
+
+TEST(Lstm, InputGateWritesCandidate)
+{
+    LstmCell cell(1, 1);
+    // Open input gate, close forget gate, saturate candidate positive.
+    cell.inputGates().bias().at(static_cast<int64_t>(0)) = 50.0f;  // i
+    cell.inputGates().bias().at(static_cast<int64_t>(1)) = -50.0f; // f
+    cell.inputGates().bias().at(static_cast<int64_t>(2)) = 50.0f;  // g
+    cell.inputGates().bias().at(static_cast<int64_t>(3)) = 50.0f;  // o
+    Tensor x({1, 1});
+    LstmState s = cell.forward(x, cell.initialState(1));
+    EXPECT_NEAR(s.c.at(static_cast<int64_t>(0)), 1.0f, 1e-4f);
+    EXPECT_NEAR(s.h.at(static_cast<int64_t>(0)), std::tanh(1.0f), 1e-4f);
+}
+
+TEST(Lstm, HiddenStateBounded)
+{
+    Rng rng(3);
+    LstmCell cell(8, 16, rng);
+    LstmState s = cell.initialState(4);
+    for (int t = 0; t < 20; ++t) {
+        Tensor x({4, 8});
+        x.fillUniform(rng, -3.0f, 3.0f);
+        s = cell.forward(x, s);
+        for (int64_t i = 0; i < s.h.size(); ++i) {
+            EXPECT_GE(s.h.at(i), -1.0f);
+            EXPECT_LE(s.h.at(i), 1.0f);
+        }
+    }
+}
+
+TEST(Lstm, SequenceEqualsStepLoop)
+{
+    Rng rng(5);
+    LstmCell cell(4, 6, rng);
+    Tensor xs({5, 2, 4});
+    xs.fillUniform(rng, -1.0f, 1.0f);
+
+    LstmState via_seq = cell.forwardSequence(xs, cell.initialState(2));
+
+    LstmState manual = cell.initialState(2);
+    for (int64_t t = 0; t < 5; ++t) {
+        Tensor x({2, 4});
+        for (int64_t i = 0; i < 8; ++i)
+            x.at(i) = xs.data()[t * 8 + i];
+        manual = cell.forward(x, manual);
+    }
+    EXPECT_TRUE(via_seq.h.allClose(manual.h, 1e-5f));
+    EXPECT_TRUE(via_seq.c.allClose(manual.c, 1e-5f));
+}
+
+TEST(Lstm, ValidatesShapes)
+{
+    LstmCell cell(4, 6);
+    EXPECT_THROW(cell.forward(Tensor({2, 5}), cell.initialState(2)),
+                 PanicError);
+    EXPECT_THROW(cell.forward(Tensor({2, 4}), cell.initialState(3)),
+                 PanicError);
+    EXPECT_THROW(LstmCell(0, 4), PanicError);
+}
+
+TEST(Lstm, CostLowIntensity)
+{
+    // Fig 5: RNN layers sit far below CNN in FLOPs/byte because the
+    // weights are re-read every timestep.
+    OpCost rnn = LstmCell::cost(11, 1024, 1024);
+    EXPECT_GT(rnn.intensity(), 1.0);
+    EXPECT_LT(rnn.intensity(), 15.0);
+}
+
+} // namespace
+} // namespace recperf

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit and property tests for SparseLengthsSum (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "ops/reference.hh"
+#include "ops/sparse_lengths_sum.hh"
+
+namespace recperf {
+namespace {
+
+TEST(EmbeddingTable, RejectsBadDims)
+{
+    EXPECT_THROW(EmbeddingTable(0, 4), PanicError);
+    EXPECT_THROW(EmbeddingTable(4, 0), PanicError);
+}
+
+TEST(EmbeddingTable, StorageAccounting)
+{
+    EmbeddingTable t(1000, 32);
+    EXPECT_EQ(t.paramCount(), 32'000);
+    EXPECT_EQ(t.storageBytes(), 128'000);
+}
+
+TEST(Sls, SingleLookupReturnsRow)
+{
+    EmbeddingTable t(4, 3);
+    for (int64_t r = 0; r < 4; ++r) {
+        for (int64_t c = 0; c < 3; ++c)
+            t.table().at(r, c) = static_cast<float>(10 * r + c);
+    }
+    Tensor out = t.forward({2}, {1});
+    EXPECT_EQ(out.shape(), (Shape{1, 3}));
+    EXPECT_FLOAT_EQ(out.at(0, 0), 20.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 2), 22.0f);
+}
+
+TEST(Sls, SumsMultipleRows)
+{
+    EmbeddingTable t(3, 2);
+    t.table().at(0, 0) = 1.0f;
+    t.table().at(1, 0) = 2.0f;
+    t.table().at(2, 0) = 4.0f;
+    Tensor out = t.forward({0, 1, 2}, {3});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 7.0f);
+}
+
+TEST(Sls, RepeatedIdCountsTwice)
+{
+    EmbeddingTable t(2, 1);
+    t.table().at(0, 0) = 5.0f;
+    Tensor out = t.forward({0, 0}, {2});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 10.0f);
+}
+
+TEST(Sls, MultipleOutputSlots)
+{
+    EmbeddingTable t(4, 1);
+    for (int64_t r = 0; r < 4; ++r)
+        t.table().at(r, 0) = static_cast<float>(1 << r);
+    // Slot 0 pools {0,1}; slot 1 pools {2}; slot 2 pools {3, 0}.
+    Tensor out = t.forward({0, 1, 2, 3, 0}, {2, 1, 2});
+    EXPECT_EQ(out.shape(), (Shape{3, 1}));
+    EXPECT_FLOAT_EQ(out.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 4.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 0), 9.0f);
+}
+
+TEST(Sls, EmptySlotYieldsZeros)
+{
+    Rng rng(1);
+    EmbeddingTable t(4, 2, rng);
+    Tensor out = t.forward({1}, {0, 1});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 0.0f);
+}
+
+TEST(Sls, MeanReduction)
+{
+    EmbeddingTable t(2, 1);
+    t.table().at(0, 0) = 2.0f;
+    t.table().at(1, 0) = 4.0f;
+    Tensor out = t.forward({0, 1}, {2}, SlsReduction::Mean);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 3.0f);
+}
+
+TEST(Sls, LengthsMismatchPanics)
+{
+    EmbeddingTable t(4, 2);
+    EXPECT_THROW(t.forward({0, 1}, {3}), PanicError);
+    EXPECT_THROW(t.forward({0, 1, 2}, {2}), PanicError);
+}
+
+TEST(Sls, OutOfRangeIdPanics)
+{
+    EmbeddingTable t(4, 2);
+    EXPECT_THROW(t.forward({4}, {1}), PanicError);
+    EXPECT_THROW(t.forward({-1}, {1}), PanicError);
+}
+
+TEST(SlsCost, ClosedForm)
+{
+    OpCost c = EmbeddingTable::cost(80, 1, 32);
+    EXPECT_DOUBLE_EQ(c.flops, 80.0 * 32.0);
+    EXPECT_DOUBLE_EQ(c.bytesRead, 80.0 * 32.0 * 4.0 + 80.0 * 8.0);
+    EXPECT_DOUBLE_EQ(c.bytesWritten, 32.0 * 4.0);
+}
+
+TEST(SlsCost, LowComputeIntensity)
+{
+    // Fig 5: SLS operational intensity ~0.25 FLOPs/byte, far below FC.
+    OpCost sls = EmbeddingTable::cost(80, 1, 32);
+    EXPECT_NEAR(sls.intensity(), 0.25, 0.05);
+    EXPECT_LT(sls.intensity(), 1.0);
+}
+
+/** Property sweep: pooled lookup equals the naive reference. */
+class SlsSweep : public ::testing::TestWithParam<
+    std::tuple<int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(SlsSweep, MatchesReference)
+{
+    auto [rows, dim, batch] = GetParam();
+    Rng rng(static_cast<uint64_t>(rows * 131 + dim * 17 + batch));
+    EmbeddingTable t(rows, dim, rng);
+
+    std::vector<int64_t> ids, lengths;
+    for (int64_t b = 0; b < batch; ++b) {
+        int64_t len = rng.nextInt(0, 8);
+        lengths.push_back(len);
+        for (int64_t j = 0; j < len; ++j)
+            ids.push_back(rng.nextInt(0, rows - 1));
+    }
+
+    Tensor got = t.forward(ids, lengths);
+    Tensor want = reference::sparseLengthsSum(t.table(), ids, lengths);
+    EXPECT_TRUE(got.allClose(want, 1e-5f))
+        << "rows=" << rows << " dim=" << dim << " batch=" << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlsSweep,
+    ::testing::Combine(::testing::Values<int64_t>(1, 16, 1000),
+                       ::testing::Values<int64_t>(1, 15, 32, 64),
+                       ::testing::Values<int64_t>(1, 7, 32)));
+
+} // namespace
+} // namespace recperf

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace recperf {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroPanics)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.nextBelow(0), PanicError);
+}
+
+TEST(Rng, NextIntInclusiveRange)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextIntEmptyRangePanics)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.nextInt(3, 2), PanicError);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10'000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, FloatRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        float f = rng.nextFloat(-2.0f, 5.0f);
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 5.0f);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    const int n = 200'000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    const double rate = 4.0;
+    const int n = 200'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double e = rng.nextExponential(rate);
+        EXPECT_GT(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialBadRatePanics)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.nextExponential(0.0), PanicError);
+    EXPECT_THROW(rng.nextExponential(-1.0), PanicError);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(31);
+    const int n = 100'000;
+    int heads = 0;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(37);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformityChiSquare)
+{
+    // 16 buckets over nextBelow(16): chi-square should stay far below
+    // the 0.001 critical value (~37.7 for 15 dof).
+    Rng rng(41);
+    const int n = 160'000;
+    int counts[16] = {0};
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBelow(16)];
+    double expected = n / 16.0;
+    double chi = 0.0;
+    for (int c : counts)
+        chi += (c - expected) * (c - expected) / expected;
+    EXPECT_LT(chi, 37.7);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == UINT64_MAX);
+    Rng rng(3);
+    EXPECT_NE(rng(), rng());
+}
+
+} // namespace
+} // namespace recperf

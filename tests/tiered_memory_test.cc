@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the DRAM/NVM tiered embedding-storage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/tiered_memory.hh"
+
+namespace recperf {
+namespace {
+
+TieredSlsResult
+runTiered(size_t cache_rows, CachePolicy policy = CachePolicy::Lru)
+{
+    TimerOptions opts;
+    opts.batch = 8;
+    TieredSlsModel model(broadwell(), rmc2Small(), NvmConfig{}, cache_rows,
+                         policy, opts);
+    return model.run(10, 10);
+}
+
+TEST(TieredMemory, RequiresTables)
+{
+    ModelConfig no_tables;
+    no_tables.name = "dense-only";
+    no_tables.denseFeatures = 8;
+    no_tables.bottomMlp = {4};
+    no_tables.topMlp = {1};
+    TimerOptions opts;
+    EXPECT_THROW(TieredSlsModel(broadwell(), no_tables, NvmConfig{}, 100,
+                                CachePolicy::Lru, opts),
+                 PanicError);
+}
+
+TEST(TieredMemory, CapacityCheck)
+{
+    NvmConfig tiny;
+    tiny.capacityGB = 0.001;
+    TimerOptions opts;
+    EXPECT_THROW(TieredSlsModel(broadwell(), rmc2Small(), tiny, 100,
+                                CachePolicy::Lru, opts),
+                 PanicError);
+}
+
+TEST(TieredMemory, NoCacheMeansAllNvm)
+{
+    TieredSlsResult r = runTiered(0);
+    EXPECT_EQ(r.dramCacheHitRate, 0.0);
+    EXPECT_EQ(r.dramCacheBytes, 0.0);
+    // 8 batch x 80 lookups x 32 tables rows, all from NVM.
+    EXPECT_EQ(r.nvmReadsPerInference, 8u * 80 * 32);
+    EXPECT_GT(r.slsSecondsPerInference, 0.0);
+}
+
+TEST(TieredMemory, CacheCutsNvmReads)
+{
+    TieredSlsResult none = runTiered(0);
+    TieredSlsResult cached = runTiered(500'000);
+    EXPECT_GT(cached.dramCacheHitRate, 0.3);
+    EXPECT_LT(cached.nvmReadsPerInference, none.nvmReadsPerInference);
+    EXPECT_LT(cached.slsSecondsPerInference, none.slsSecondsPerInference);
+    EXPECT_GT(cached.dramCacheBytes, 0.0);
+}
+
+TEST(TieredMemory, LatencyMonotoneInCacheSize)
+{
+    double prev = runTiered(0).slsSecondsPerInference;
+    for (size_t rows : {50'000, 500'000, 5'000'000}) {
+        double t = runTiered(rows).slsSecondsPerInference;
+        EXPECT_LE(t, prev * 1.05) << rows;
+        prev = t;
+    }
+}
+
+TEST(TieredMemory, BigCacheApproachesDramSpeed)
+{
+    // With a cache holding most hot rows, the tiered system should be
+    // within a small factor of all-DRAM gathers.
+    TieredSlsResult big = runTiered(5'000'000);
+    MachineSpec bdw = broadwell();
+    double all_dram = bdw.gatherSeconds(HitLevel::Memory,
+                                        8.0 * 80 * 32 * 2, 8);
+    EXPECT_LT(big.slsSecondsPerInference, 3.0 * all_dram);
+}
+
+TEST(TieredMemory, NvmSlowerThanDramPerRead)
+{
+    // Sanity on the NVM config itself.
+    NvmConfig nvm;
+    MachineSpec bdw = broadwell();
+    EXPECT_GT(nvm.readLatencyNs, bdw.dram.latencyNs);
+    EXPECT_LT(nvm.gatherGBps, bdw.dram.gatherGBps());
+}
+
+} // namespace
+} // namespace recperf

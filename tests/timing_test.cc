@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the single-model timing layer: the paper's Takeaways 1-5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "timing/model_timer.hh"
+
+namespace recperf {
+namespace {
+
+ModelTiming
+timeModel(const MachineSpec &m, const ModelConfig &cfg, int64_t batch,
+          bool ht = false)
+{
+    TimerOptions opts;
+    opts.batch = batch;
+    opts.hyperthreading = ht;
+    ModelTimer timer(m, cfg, opts);
+    return timer.steadyState(20, 20);
+}
+
+TEST(ModelTimer, Takeaway1LatencySpreadAcrossClasses)
+{
+    // Inference latency varies by >= 10x across RMC1..RMC3 (batch 1,
+    // Broadwell; the paper reports 15x).
+    MachineSpec bdw = broadwell();
+    double rmc1 = timeModel(bdw, rmc1Small(), 1).totalSeconds();
+    double rmc2 = timeModel(bdw, rmc2Small(), 1).totalSeconds();
+    double rmc3 = timeModel(bdw, rmc3Small(), 1).totalSeconds();
+    EXPECT_LT(rmc1, rmc2);
+    EXPECT_LT(rmc2, rmc3);
+    EXPECT_GT(rmc3 / rmc1, 10.0);
+}
+
+TEST(ModelTimer, Fig7AbsoluteLatencyAnchors)
+{
+    // Paper: 0.04 ms / 0.30 ms / 0.60 ms on Broadwell at batch 1. We
+    // require the same order of magnitude (factor-2 bands).
+    MachineSpec bdw = broadwell();
+    double rmc1_ms = timeModel(bdw, rmc1Small(), 1).totalSeconds() * 1e3;
+    double rmc2_ms = timeModel(bdw, rmc2Small(), 1).totalSeconds() * 1e3;
+    double rmc3_ms = timeModel(bdw, rmc3Small(), 1).totalSeconds() * 1e3;
+    EXPECT_GT(rmc1_ms, 0.02);
+    EXPECT_LT(rmc1_ms, 0.08);
+    EXPECT_GT(rmc2_ms, 0.15);
+    EXPECT_LT(rmc2_ms, 0.60);
+    EXPECT_GT(rmc3_ms, 0.30);
+    EXPECT_LT(rmc3_ms, 1.20);
+}
+
+TEST(ModelTimer, Takeaway2OperatorBottlenecksDiffer)
+{
+    // No single operator dominates every class: FC rules RMC3 (>90%),
+    // SLS rules RMC2 (>60%), RMC1 is mixed.
+    MachineSpec bdw = broadwell();
+    ModelTiming rmc1 = timeModel(bdw, rmc1Small(), 1);
+    ModelTiming rmc2 = timeModel(bdw, rmc2Small(), 1);
+    ModelTiming rmc3 = timeModel(bdw, rmc3Small(), 1);
+
+    EXPECT_GT(rmc3.fractionByKind(OpKind::FC), 0.90);
+    EXPECT_GT(rmc2.fractionByKind(OpKind::SLS), 0.60);
+    EXPECT_GT(rmc1.fractionByKind(OpKind::FC), 0.30);
+    EXPECT_LT(rmc1.fractionByKind(OpKind::FC), 0.80);
+    EXPECT_GT(rmc1.fractionByKind(OpKind::SLS), 0.10);
+}
+
+TEST(ModelTimer, Takeaway3BroadwellBestAtUnitBatch)
+{
+    for (const ModelConfig &cfg : representativeModels()) {
+        double hsw = timeModel(haswell(), cfg, 1).totalSeconds();
+        double bdw = timeModel(broadwell(), cfg, 1).totalSeconds();
+        double skl = timeModel(skylake(), cfg, 1).totalSeconds();
+        EXPECT_LT(bdw, hsw) << cfg.name;
+        EXPECT_LT(bdw, skl) << cfg.name;
+    }
+}
+
+TEST(ModelTimer, Takeaway4SkylakeBestAtLargeBatch)
+{
+    for (const ModelConfig &cfg : representativeModels()) {
+        double hsw = timeModel(haswell(), cfg, 256).totalSeconds();
+        double bdw = timeModel(broadwell(), cfg, 256).totalSeconds();
+        double skl = timeModel(skylake(), cfg, 256).totalSeconds();
+        EXPECT_LT(skl, hsw) << cfg.name;
+        EXPECT_LT(skl, bdw) << cfg.name;
+    }
+}
+
+TEST(ModelTimer, Fig8Rmc3BatchSixteenRatios)
+{
+    // Paper: at batch 16 Broadwell beats Haswell by 1.32x and Skylake
+    // by 1.65x on RMC3. Allow generous bands around those anchors.
+    double hsw = timeModel(haswell(), rmc3Small(), 16).totalSeconds();
+    double bdw = timeModel(broadwell(), rmc3Small(), 16).totalSeconds();
+    double skl = timeModel(skylake(), rmc3Small(), 16).totalSeconds();
+    EXPECT_GT(hsw / bdw, 1.1);
+    EXPECT_LT(hsw / bdw, 1.6);
+    EXPECT_GT(skl / bdw, 1.3);
+    EXPECT_LT(skl / bdw, 2.0);
+}
+
+TEST(ModelTimer, LatencyMonotoneInBatch)
+{
+    MachineSpec bdw = broadwell();
+    for (const ModelConfig &cfg : {rmc1Small(), rmc3Small()}) {
+        double prev = 0.0;
+        for (int64_t batch : {1, 4, 16, 64, 256}) {
+            double t = timeModel(bdw, cfg, batch).totalSeconds();
+            EXPECT_GT(t, prev) << cfg.name << " batch " << batch;
+            prev = t;
+        }
+    }
+}
+
+TEST(ModelTimer, BatchingImprovesPerItemLatency)
+{
+    // Throughput motivation (§III): batch-256 latency is far below
+    // 256x the batch-1 latency.
+    MachineSpec bdw = broadwell();
+    double t1 = timeModel(bdw, rmc1Small(), 1).totalSeconds();
+    double t256 = timeModel(bdw, rmc1Small(), 256).totalSeconds();
+    EXPECT_LT(t256, 100.0 * t1);
+}
+
+TEST(ModelTimer, HyperthreadingDegradesLatency)
+{
+    MachineSpec bdw = broadwell();
+    for (const ModelConfig &cfg : {rmc1Small(), rmc3Small()}) {
+        double solo = timeModel(bdw, cfg, 32, false).totalSeconds();
+        double ht = timeModel(bdw, cfg, 32, true).totalSeconds();
+        EXPECT_GT(ht, 1.2 * solo) << cfg.name;
+        EXPECT_LT(ht, 1.7 * solo) << cfg.name;
+    }
+}
+
+TEST(ModelTimer, HyperthreadingHurtsComputeModelMore)
+{
+    // §VI: the FC-heavy model suffers the larger SMT penalty.
+    MachineSpec bdw = broadwell();
+    double r1 = timeModel(bdw, rmc1Small(), 32, true).totalSeconds() /
+        timeModel(bdw, rmc1Small(), 32, false).totalSeconds();
+    double r3 = timeModel(bdw, rmc3Small(), 32, true).totalSeconds() /
+        timeModel(bdw, rmc3Small(), 32, false).totalSeconds();
+    EXPECT_GT(r3, r1);
+}
+
+TEST(ModelTimer, SlsMpkiInPaperRange)
+{
+    // Fig 5: SLS-heavy models show 1-10 LLC MPKI; FC-heavy nearly none.
+    MachineSpec bdw = broadwell();
+    double rmc2_mpki = timeModel(bdw, rmc2Small(), 1).llcMpki();
+    double rmc3_mpki = timeModel(bdw, rmc3Small(), 1).llcMpki();
+    EXPECT_GT(rmc2_mpki, 1.0);
+    EXPECT_LT(rmc2_mpki, 15.0);
+    EXPECT_LT(rmc3_mpki, 0.5);
+    EXPECT_GT(rmc2_mpki, 10.0 * rmc3_mpki);
+}
+
+TEST(ModelTimer, WarmCacheFasterThanCold)
+{
+    MachineSpec bdw = broadwell();
+    TimerOptions opts;
+    opts.batch = 1;
+    ModelTimer timer(bdw, rmc1Small(), opts);
+    double cold = timer.run().totalSeconds();
+    for (int i = 0; i < 30; ++i)
+        timer.run();
+    double warm = timer.run().totalSeconds();
+    EXPECT_LT(warm, cold);
+}
+
+TEST(ModelTimer, LargerModelVariantSlower)
+{
+    // §V: a large RMC1 has ~2x the latency of a small RMC1.
+    MachineSpec bdw = broadwell();
+    double small = timeModel(bdw, rmc1Small(), 1).totalSeconds();
+    double large = timeModel(bdw, rmc1Large(), 1).totalSeconds();
+    EXPECT_GT(large / small, 1.5);
+    EXPECT_LT(large / small, 4.0);
+}
+
+TEST(ModelTimer, SetBatchTakesEffect)
+{
+    MachineSpec bdw = broadwell();
+    TimerOptions opts;
+    opts.batch = 1;
+    ModelTimer timer(bdw, rmc1Small(), opts);
+    timer.steadyState(5, 5);
+    double b1 = timer.run().totalSeconds();
+    timer.setBatch(64);
+    double b64 = timer.run().totalSeconds();
+    EXPECT_GT(b64, 2.0 * b1);
+    EXPECT_THROW(timer.setBatch(0), PanicError);
+}
+
+TEST(ModelTimer, NcfIsFcDominatedAndFast)
+{
+    // Fig 12 / §VII: NCF's runtime is FC-dominated (>90%) and orders of
+    // magnitude below the production models'.
+    MachineSpec bdw = broadwell();
+    ModelTiming ncf = timeModel(bdw, ncfConfig(), 1);
+    EXPECT_GT(ncf.fractionByKind(OpKind::FC), 0.5);
+    EXPECT_LT(ncf.fractionByKind(OpKind::SLS), 0.2);
+    EXPECT_LT(ncf.totalSeconds(),
+              timeModel(bdw, rmc2Small(), 1).totalSeconds() / 4.0);
+}
+
+TEST(ModelTiming, BreakdownSumsToTotal)
+{
+    MachineSpec bdw = broadwell();
+    ModelTiming t = timeModel(bdw, rmc1Small(), 4);
+    double sum = 0.0;
+    for (const auto &[kind, secs] : t.breakdown())
+        sum += secs;
+    EXPECT_NEAR(sum, t.totalSeconds(), 1e-12);
+    double frac = 0.0;
+    for (const auto &[kind, secs] : t.breakdown())
+        frac += t.fractionByKind(kind);
+    EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+TEST(ModelTiming, AccumulateAndScale)
+{
+    ModelTiming a;
+    OpTiming op;
+    op.kind = OpKind::FC;
+    op.seconds = 2.0;
+    op.instructions = 100.0;
+    op.dramLines = 10;
+    a.ops.push_back(op);
+    ModelTiming b = a;
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), 4.0);
+    a.scale(0.5);
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), 2.0);
+    EXPECT_DOUBLE_EQ(a.instructions(), 100.0);
+    EXPECT_EQ(a.dramLines(), 10u);
+}
+
+} // namespace
+} // namespace recperf

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for SGD training: finite-difference gradient checks through
+ * every parameter group, sparse embedding-update semantics, and
+ * learning dynamics on synthetic click data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "model/rec_model.hh"
+#include "model/zoo.hh"
+#include "train/trainer.hh"
+
+namespace recperf {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig m;
+    m.name = "train-tiny";
+    m.modelClass = ModelClass::RMC1;
+    m.denseFeatures = 6;
+    m.bottomMlp = {8, 4};
+    m.emb = {2, 32, 4, 3};
+    m.topMlp = {6, 1};
+    m.validate();
+    return m;
+}
+
+struct Fixture
+{
+    Fixture() : rng(11), model(tinyConfig(), rng)
+    {
+        Rng in_rng(13);
+        input = model.randomInput(8, in_rng);
+        for (int i = 0; i < 8; ++i)
+            labels.push_back(i % 2 ? 1.0f : 0.0f);
+    }
+
+    Rng rng;
+    RecModel model;
+    ModelInput input;
+    std::vector<float> labels;
+};
+
+/**
+ * Finite-difference check: after one SGD step, the observed update of
+ * a single parameter must equal -lr times its numeric gradient.
+ * @param select picks the parameter out of a (deterministic) model.
+ */
+template <typename Select>
+void
+checkParameterGradient(Select select)
+{
+    Fixture f;
+    float *param = select(f);
+    TrainOptions opts;
+    opts.learningRate = 1.0f; // delta == -gradient
+    Trainer trainer(f.model, opts);
+
+    const float eps = 1e-3f;
+    const float original = *param;
+    *param = original + eps;
+    double loss_plus = trainer.loss(f.input, f.labels);
+    *param = original - eps;
+    double loss_minus = trainer.loss(f.input, f.labels);
+    *param = original;
+    double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+
+    trainer.step(f.input, f.labels);
+    double observed = original - *param; // == lr * analytic gradient
+
+    EXPECT_NEAR(observed, numeric,
+                std::max(2e-4, 0.05 * std::fabs(numeric)))
+        << "numeric " << numeric << " observed " << observed;
+}
+
+TEST(TrainerGradients, TopWeight)
+{
+    checkParameterGradient([](Fixture &f) {
+        return f.model.topLayers()[0].weight().data() + 3;
+    });
+}
+
+TEST(TrainerGradients, TopBias)
+{
+    checkParameterGradient([](Fixture &f) {
+        return f.model.topLayers()[1].bias().data();
+    });
+}
+
+TEST(TrainerGradients, BottomWeight)
+{
+    checkParameterGradient([](Fixture &f) {
+        return f.model.bottomLayers()[0].weight().data() + 7;
+    });
+}
+
+TEST(TrainerGradients, BottomBias)
+{
+    checkParameterGradient([](Fixture &f) {
+        return f.model.bottomLayers()[1].bias().data() + 1;
+    });
+}
+
+TEST(TrainerGradients, EmbeddingRow)
+{
+    checkParameterGradient([](Fixture &f) {
+        // A row that is actually referenced by the fixed input.
+        int64_t id = f.input.sparse[0].ids.front();
+        return f.model.tables()[0].table().data() +
+            id * f.model.tables()[0].dim() + 1;
+    });
+}
+
+TEST(Trainer, RequiresConcatInteraction)
+{
+    Rng rng(1);
+    ModelConfig dot = tinyConfig();
+    dot.bottomMlp = {8, 4};
+    dot.emb.embDim = 4;
+    dot.interaction = InteractionKind::Dot;
+    dot.validate();
+    RecModel model(dot, rng);
+    EXPECT_THROW(Trainer(model, TrainOptions{}), PanicError);
+}
+
+TEST(Trainer, RejectsBadOptionsAndLabels)
+{
+    Fixture f;
+    TrainOptions bad;
+    bad.learningRate = 0.0f;
+    EXPECT_THROW(Trainer(f.model, bad), PanicError);
+
+    Trainer trainer(f.model, TrainOptions{});
+    std::vector<float> short_labels(3, 1.0f);
+    EXPECT_THROW(trainer.step(f.input, short_labels), PanicError);
+    EXPECT_THROW(trainer.loss(f.input, short_labels), PanicError);
+}
+
+TEST(Trainer, StepReturnsPreUpdateLoss)
+{
+    Fixture f;
+    Trainer trainer(f.model, TrainOptions{});
+    double before = trainer.loss(f.input, f.labels);
+    double reported = trainer.step(f.input, f.labels);
+    EXPECT_NEAR(reported, before, 1e-9);
+}
+
+TEST(Trainer, LossDecreasesOnFixedBatch)
+{
+    Fixture f;
+    TrainOptions opts;
+    opts.learningRate = 0.1f;
+    Trainer trainer(f.model, opts);
+    double first = trainer.loss(f.input, f.labels);
+    for (int i = 0; i < 50; ++i)
+        trainer.step(f.input, f.labels);
+    double last = trainer.loss(f.input, f.labels);
+    EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(Trainer, SparseUpdatesOnlyTouchGatheredRows)
+{
+    Fixture f;
+    // Snapshot an untouched row and a touched row of table 0.
+    const EmbeddingTable &table = f.model.tables()[0];
+    int64_t touched = f.input.sparse[0].ids.front();
+    int64_t untouched = -1;
+    for (int64_t r = 0; r < table.rows(); ++r) {
+        bool used = false;
+        for (int64_t id : f.input.sparse[0].ids)
+            used |= id == r;
+        if (!used) {
+            untouched = r;
+            break;
+        }
+    }
+    ASSERT_GE(untouched, 0) << "input references every row";
+
+    std::vector<float> before_untouched, before_touched;
+    for (int64_t c = 0; c < table.dim(); ++c) {
+        before_untouched.push_back(table.table().at(untouched, c));
+        before_touched.push_back(table.table().at(touched, c));
+    }
+
+    TrainOptions opts;
+    opts.learningRate = 0.5f;
+    Trainer trainer(f.model, opts);
+    trainer.step(f.input, f.labels);
+
+    bool touched_changed = false;
+    for (int64_t c = 0; c < table.dim(); ++c) {
+        EXPECT_EQ(table.table().at(untouched, c),
+                  before_untouched[static_cast<size_t>(c)]);
+        touched_changed |= table.table().at(touched, c) !=
+            before_touched[static_cast<size_t>(c)];
+    }
+    EXPECT_TRUE(touched_changed);
+}
+
+TEST(Trainer, LearnsTeacherModel)
+{
+    // Student should recover most of a random teacher's decisions from
+    // its labels — end-to-end learning through FCs and embeddings.
+    Rng rng(21);
+    RecModel teacher(tinyConfig(), rng);
+    Rng student_rng(22);
+    RecModel student(tinyConfig(), student_rng);
+
+    TrainOptions opts;
+    opts.learningRate = 0.05f;
+    Trainer trainer(student, opts);
+
+    Rng data_rng(23);
+    double final_accuracy = 0.0;
+    for (int epoch = 0; epoch < 200; ++epoch) {
+        ModelInput batch = teacher.randomInput(32, data_rng);
+        Tensor truth = teacher.forward(batch);
+        std::vector<float> labels;
+        for (int64_t b = 0; b < 32; ++b)
+            labels.push_back(truth.at(b, 0) >= 0.5f ? 1.0f : 0.0f);
+        trainer.step(batch, labels);
+        if (epoch == 199)
+            final_accuracy = trainer.accuracy(batch, labels);
+    }
+    EXPECT_GT(final_accuracy, 0.7);
+}
+
+TEST(Auc, PerfectAndRandomSeparation)
+{
+    // Perfectly separated scores -> AUC 1; anti-separated -> 0.
+    EXPECT_DOUBLE_EQ(areaUnderRoc({0.9f, 0.8f, 0.2f, 0.1f},
+                                  {1, 1, 0, 0}),
+                     1.0);
+    EXPECT_DOUBLE_EQ(areaUnderRoc({0.1f, 0.2f, 0.8f, 0.9f},
+                                  {1, 1, 0, 0}),
+                     0.0);
+}
+
+TEST(Auc, TiesAveraged)
+{
+    // All scores equal: AUC is exactly 0.5 by the tie convention.
+    EXPECT_DOUBLE_EQ(areaUnderRoc({0.5f, 0.5f, 0.5f, 0.5f},
+                                  {1, 0, 1, 0}),
+                     0.5);
+}
+
+TEST(Auc, KnownMixedCase)
+{
+    // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 3 of 4.
+    EXPECT_DOUBLE_EQ(areaUnderRoc({0.8f, 0.4f, 0.6f, 0.2f},
+                                  {1, 1, 0, 0}),
+                     0.75);
+}
+
+TEST(Auc, DegenerateLabels)
+{
+    EXPECT_DOUBLE_EQ(areaUnderRoc({0.1f, 0.9f}, {1, 1}), 0.5);
+    EXPECT_THROW(areaUnderRoc({}, {}), PanicError);
+    EXPECT_THROW(areaUnderRoc({0.5f}, {1, 0}), PanicError);
+}
+
+TEST(Trainer, AucImprovesWithTraining)
+{
+    Fixture f;
+    TrainOptions opts;
+    opts.learningRate = 0.1f;
+    Trainer trainer(f.model, opts);
+    double before = trainer.auc(f.input, f.labels);
+    for (int i = 0; i < 60; ++i)
+        trainer.step(f.input, f.labels);
+    double after = trainer.auc(f.input, f.labels);
+    EXPECT_GT(after, before);
+    EXPECT_GT(after, 0.95); // memorizes the fixed batch
+}
+
+TEST(TrainerAdagrad, GradientSignPreserved)
+{
+    // First Adagrad step moves each parameter by lr * sign(grad)
+    // (accumulator = g^2 -> step = lr * g / |g|).
+    Fixture f;
+    TrainOptions opts;
+    opts.learningRate = 0.01f;
+    opts.optimizer = Optimizer::Adagrad;
+    Trainer trainer(f.model, opts);
+
+    Tensor before =
+        f.model.topLayers()[0].weight().reshaped(
+            f.model.topLayers()[0].weight().shape());
+    trainer.step(f.input, f.labels);
+    const Tensor &after = f.model.topLayers()[0].weight();
+    int64_t moved = 0;
+    for (int64_t i = 0; i < after.size(); ++i) {
+        float delta = std::fabs(after.at(i) - before.at(i));
+        if (delta == 0.0f)
+            continue;
+        ++moved;
+        EXPECT_NEAR(delta, 0.01f, 1e-4f); // lr * g/|g| modulo epsilon
+    }
+    EXPECT_GT(moved, 0);
+}
+
+TEST(TrainerAdagrad, ConvergesOnFixedBatch)
+{
+    Fixture f;
+    TrainOptions opts;
+    opts.learningRate = 0.05f;
+    opts.optimizer = Optimizer::Adagrad;
+    Trainer trainer(f.model, opts);
+    double first = trainer.loss(f.input, f.labels);
+    for (int i = 0; i < 80; ++i)
+        trainer.step(f.input, f.labels);
+    EXPECT_LT(trainer.loss(f.input, f.labels), 0.5 * first);
+}
+
+TEST(TrainerAdagrad, StableAtLearningRatesThatBreakSgd)
+{
+    // Adagrad's per-parameter normalization bounds every update by the
+    // learning rate regardless of gradient magnitude, so training stays
+    // finite and converges even at an absurd step size.
+    Fixture f;
+    TrainOptions opts;
+    opts.learningRate = 20.0f;
+    opts.optimizer = Optimizer::Adagrad;
+    Trainer trainer(f.model, opts);
+    double first = trainer.step(f.input, f.labels);
+    double last = first;
+    for (int i = 0; i < 60; ++i)
+        last = trainer.step(f.input, f.labels);
+    EXPECT_TRUE(std::isfinite(last));
+    EXPECT_LT(last, first);
+    // Every parameter remains finite.
+    for (const FullyConnected &fc : f.model.topLayers()) {
+        for (int64_t i = 0; i < fc.weight().size(); ++i)
+            ASSERT_TRUE(std::isfinite(fc.weight().at(i)));
+    }
+}
+
+TEST(Trainer, Deterministic)
+{
+    auto run = [] {
+        Rng rng(31);
+        RecModel model(tinyConfig(), rng);
+        Rng in_rng(32);
+        ModelInput input = model.randomInput(8, in_rng);
+        std::vector<float> labels(8, 1.0f);
+        Trainer trainer(model, TrainOptions{});
+        double total = 0.0;
+        for (int i = 0; i < 10; ++i)
+            total += trainer.step(input, labels);
+        return total;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+} // namespace
+} // namespace recperf

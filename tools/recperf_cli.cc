@@ -1,0 +1,266 @@
+/**
+ * @file
+ * recperf — command-line driver for the RecPerf experiments.
+ *
+ * Subcommands:
+ *   time      time one model on one machine at one batch size
+ *   colocate  sweep co-located instances on a socket
+ *   serve     open-loop serving simulation with SLA accounting
+ *   trace     report the unique-ID fraction of a trace profile
+ *   zoo       list the model zoo and machine fleet
+ *
+ * Examples:
+ *   recperf time --model rmc2 --machine skylake --batch 64
+ *   recperf colocate --model rmc2 --machine broadwell --max-tenants 8
+ *   recperf serve --model rmc1 --workers 8 --rate 50000 --sla-ms 10
+ *   recperf trace --zipf 1.05 --repeat 0.65
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/args.hh"
+#include "core/logging.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "serving/server.hh"
+#include "timing/colocation.hh"
+#include "timing/model_timer.hh"
+#include "trace/id_generator.hh"
+
+using namespace recperf;
+
+namespace {
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    for (const ModelConfig &cfg : allZooModels()) {
+        if (cfg.name == name)
+            return cfg;
+    }
+    if (name == "rmc1")
+        return rmc1Small();
+    if (name == "rmc2")
+        return rmc2Small();
+    if (name == "rmc3")
+        return rmc3Small();
+    if (name == "rmc3-dot")
+        return rmc3Dot();
+    if (name == "ncf")
+        return ncfConfig();
+    RP_FATAL("unknown model '%s' (try: rmc1, rmc2, rmc3, rmc3-dot, ncf, "
+             "or a full zoo name)", name.c_str());
+}
+
+MachineSpec
+machineByName(const std::string &name)
+{
+    for (const MachineSpec &m : fleetMachines()) {
+        std::string lower = m.name;
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        if (lower == name)
+            return m;
+    }
+    RP_FATAL("unknown machine '%s' (try: haswell, broadwell, skylake)",
+             name.c_str());
+}
+
+int
+cmdTime(ArgParser &args)
+{
+    ModelConfig cfg = modelByName(args.option("model"));
+    MachineSpec machine = machineByName(args.option("machine"));
+    TimerOptions opts;
+    opts.batch = args.optionInt("batch");
+    opts.zipfAlpha = args.optionDouble("zipf");
+    opts.repeatProb = args.optionDouble("repeat");
+
+    ModelTimer timer(machine, cfg, opts);
+    ModelTiming t = timer.steadyState(
+        static_cast<int>(args.optionInt("iters")),
+        static_cast<int>(args.optionInt("iters")));
+
+    std::printf("%s on %s, batch %lld:\n", cfg.name.c_str(),
+                machine.name.c_str(),
+                static_cast<long long>(opts.batch));
+    std::printf("  latency:    %10.3f ms\n", t.totalSeconds() * 1e3);
+    std::printf("  throughput: %10.0f items/s (single core)\n",
+                static_cast<double>(opts.batch) / t.totalSeconds());
+    std::printf("  LLC MPKI:   %10.2f\n", t.llcMpki());
+    std::printf("  breakdown:\n");
+    for (const auto &[kind, secs] : t.breakdown()) {
+        std::printf("    %-11s %8.3f ms (%5.1f%%)\n", opKindName(kind),
+                    secs * 1e3, 100.0 * secs / t.totalSeconds());
+    }
+    return 0;
+}
+
+int
+cmdColocate(ArgParser &args)
+{
+    ModelConfig cfg = modelByName(args.option("model"));
+    MachineSpec machine = machineByName(args.option("machine"));
+    auto max_tenants =
+        static_cast<uint32_t>(args.optionInt("max-tenants"));
+    TimerOptions opts;
+    opts.batch = args.optionInt("batch");
+
+    std::printf("co-locating %s on %s (batch %lld):\n", cfg.name.c_str(),
+                machine.name.c_str(),
+                static_cast<long long>(opts.batch));
+    std::printf("  %3s %12s %16s\n", "N", "latency", "throughput");
+    double base = 0.0;
+    for (uint32_t n = 1; n <= max_tenants; n *= 2) {
+        ColocationSim sim(machine, cfg, opts, n);
+        ColocationResult r = sim.run(10, 6);
+        if (n == 1)
+            base = r.meanLatency();
+        std::printf("  %3u %9.3f ms %11.0f inf/s  (%.2fx latency)\n", n,
+                    r.meanLatency() * 1e3, r.throughput(),
+                    r.meanLatency() / base);
+    }
+    return 0;
+}
+
+int
+cmdServe(ArgParser &args)
+{
+    ModelConfig cfg = modelByName(args.option("model"));
+    MachineSpec machine = machineByName(args.option("machine"));
+    ServerOptions sopts;
+    sopts.numWorkers = static_cast<uint32_t>(args.optionInt("workers"));
+    sopts.maxBatch = args.optionInt("batch");
+    sopts.slaSeconds = args.optionDouble("sla-ms") / 1e3;
+
+    Server server(machine, cfg, TimerOptions{}, sopts);
+    ServingStats stats = server.runOpenLoop(
+        args.optionDouble("rate"),
+        static_cast<uint64_t>(args.optionInt("items")));
+
+    std::printf("serving %s on %s: %u workers, max batch %lld, SLA "
+                "%.1f ms\n", cfg.name.c_str(), machine.name.c_str(),
+                sopts.numWorkers, static_cast<long long>(sopts.maxBatch),
+                sopts.slaSeconds * 1e3);
+    std::printf("  offered:       %10.0f items/s\n",
+                args.optionDouble("rate"));
+    std::printf("  within SLA:    %10.0f items/s (%.1f%%)\n",
+                stats.goodThroughput(), stats.slaFraction() * 100);
+    std::printf("  latency p50:   %10.3f ms\n",
+                stats.itemLatency.p(50) * 1e3);
+    std::printf("  latency p99:   %10.3f ms\n",
+                stats.itemLatency.p(99) * 1e3);
+    std::printf("  mean batch:    %10.1f items\n",
+                stats.serviceTime.count()
+                    ? static_cast<double>(stats.itemLatency.count()) /
+                        static_cast<double>(stats.serviceTime.count())
+                    : 0.0);
+    return 0;
+}
+
+int
+cmdTrace(ArgParser &args)
+{
+    TraceProfile profile{"cli", args.optionDouble("zipf"),
+                         args.optionDouble("repeat"), 8192};
+    Rng rng(static_cast<uint64_t>(args.optionInt("seed")));
+    auto gen = makeGenerator(profile, args.optionInt("rows"),
+                             rng.split());
+    auto trace = gen->draw(
+        static_cast<size_t>(args.optionInt("items")));
+    std::printf("trace: zipf alpha %.2f, repeat prob %.2f over %lld "
+                "rows\n", profile.zipfAlpha, profile.repeatProb,
+                static_cast<long long>(args.optionInt("rows")));
+    std::printf("  unique sparse IDs: %.1f%% of %zu draws\n",
+                uniqueFraction(trace) * 100.0, trace.size());
+    return 0;
+}
+
+int
+cmdZoo()
+{
+    std::printf("model zoo:\n");
+    for (const ModelConfig &cfg : allZooModels()) {
+        std::printf("  %-12s %2lld tables x %8lld rows, %3lld lookups, "
+                    "%6.2f GB emb, %8.2fM FC params\n", cfg.name.c_str(),
+                    static_cast<long long>(cfg.emb.numTables),
+                    static_cast<long long>(cfg.emb.rowsPerTable),
+                    static_cast<long long>(cfg.emb.lookupsPerTable),
+                    cfg.embStorageBytes() / 1e9,
+                    cfg.fcParamCount() / 1e6);
+    }
+    std::printf("machines:\n");
+    for (const MachineSpec &m : fleetMachines()) {
+        std::printf("  %-10s %.1f GHz, %2u cores/socket, %s, L3 %.1f MB "
+                    "(%s), %s\n", m.name.c_str(), m.freqGHz,
+                    m.coresPerSocket, simdIsaName(m.simd.isa),
+                    m.l3.sizeBytes / 1024.0 / 1024.0,
+                    m.policy == InclusionPolicy::Inclusive ? "inclusive"
+                                                           : "exclusive",
+                    m.dram.ddrType.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    std::string command = raw.empty() ? "help" : raw.front();
+    std::vector<std::string> rest(raw.begin() + (raw.empty() ? 0 : 1),
+                                  raw.end());
+
+    ArgParser args("recperf " + command,
+                   "RecPerf experiment driver (HPCA'20 reproduction)");
+    args.addOption("model", "rmc1", "model: rmc1|rmc2|rmc3|rmc3-dot|ncf");
+    args.addOption("machine", "broadwell",
+                   "machine: haswell|broadwell|skylake");
+    args.addOption("batch", "16", "batch size / max serving batch");
+    args.addOption("iters", "20", "measured iterations");
+    args.addOption("max-tenants", "8", "co-location sweep upper bound");
+    args.addOption("workers", "4", "serving workers");
+    args.addOption("rate", "10000", "offered items/s (serve)");
+    args.addOption("items", "20000", "items to simulate");
+    args.addOption("sla-ms", "10", "SLA in milliseconds");
+    args.addOption("zipf", "1.1", "trace popularity skew");
+    args.addOption("repeat", "0.5", "trace re-reference probability");
+    args.addOption("rows", "2000000", "embedding rows (trace)");
+    args.addOption("seed", "42", "random seed");
+    args.addFlag("help", "show this help");
+
+    std::string error;
+    if (!args.parse(rest, &error)) {
+        std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                     args.helpText().c_str());
+        return 2;
+    }
+    if (command == "help" || args.flag("help")) {
+        std::printf("usage: recperf <time|colocate|serve|trace|zoo> "
+                    "[options]\n\n%s", args.helpText().c_str());
+        return 0;
+    }
+
+    try {
+        if (command == "time")
+            return cmdTime(args);
+        if (command == "colocate")
+            return cmdColocate(args);
+        if (command == "serve")
+            return cmdServe(args);
+        if (command == "trace")
+            return cmdTrace(args);
+        if (command == "zoo")
+            return cmdZoo();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    std::fprintf(stderr, "unknown command '%s'; try: recperf help\n",
+                 command.c_str());
+    return 2;
+}
