@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_embedding_cache.dir/ablation_embedding_cache.cc.o"
+  "CMakeFiles/ablation_embedding_cache.dir/ablation_embedding_cache.cc.o.d"
+  "ablation_embedding_cache"
+  "ablation_embedding_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_embedding_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_scheduling.cc" "bench/CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cc.o" "gcc" "bench/CMakeFiles/ablation_scheduling.dir/ablation_scheduling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/recperf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/recperf_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/recperf_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/recperf_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recperf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/recperf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcache/CMakeFiles/recperf_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/recperf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/recperf_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

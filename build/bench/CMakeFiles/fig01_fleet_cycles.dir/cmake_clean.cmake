@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_fleet_cycles.dir/fig01_fleet_cycles.cc.o"
+  "CMakeFiles/fig01_fleet_cycles.dir/fig01_fleet_cycles.cc.o.d"
+  "fig01_fleet_cycles"
+  "fig01_fleet_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fleet_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_op_cycles.dir/fig04_op_cycles.cc.o"
+  "CMakeFiles/fig04_op_cycles.dir/fig04_op_cycles.cc.o.d"
+  "fig04_op_cycles"
+  "fig04_op_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_op_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_intensity_mpki.dir/fig05_intensity_mpki.cc.o"
+  "CMakeFiles/fig05_intensity_mpki.dir/fig05_intensity_mpki.cc.o.d"
+  "fig05_intensity_mpki"
+  "fig05_intensity_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intensity_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

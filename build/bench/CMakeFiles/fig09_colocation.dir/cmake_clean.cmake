@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_colocation.dir/fig09_colocation.cc.o"
+  "CMakeFiles/fig09_colocation.dir/fig09_colocation.cc.o.d"
+  "fig09_colocation"
+  "fig09_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

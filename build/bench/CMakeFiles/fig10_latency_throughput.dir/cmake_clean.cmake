@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_throughput.dir/fig10_latency_throughput.cc.o"
+  "CMakeFiles/fig10_latency_throughput.dir/fig10_latency_throughput.cc.o.d"
+  "fig10_latency_throughput"
+  "fig10_latency_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

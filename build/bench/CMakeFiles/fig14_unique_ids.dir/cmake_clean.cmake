@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_unique_ids.dir/fig14_unique_ids.cc.o"
+  "CMakeFiles/fig14_unique_ids.dir/fig14_unique_ids.cc.o.d"
+  "fig14_unique_ids"
+  "fig14_unique_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_unique_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

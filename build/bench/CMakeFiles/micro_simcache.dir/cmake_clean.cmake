@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simcache.dir/micro_simcache.cc.o"
+  "CMakeFiles/micro_simcache.dir/micro_simcache.cc.o.d"
+  "micro_simcache"
+  "micro_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_latency_bounded.dir/study_latency_bounded.cc.o"
+  "CMakeFiles/study_latency_bounded.dir/study_latency_bounded.cc.o.d"
+  "study_latency_bounded"
+  "study_latency_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_latency_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_machines.dir/table2_machines.cc.o"
+  "CMakeFiles/table2_machines.dir/table2_machines.cc.o.d"
+  "table2_machines"
+  "table2_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

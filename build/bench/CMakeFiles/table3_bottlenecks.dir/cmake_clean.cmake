@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bottlenecks.dir/table3_bottlenecks.cc.o"
+  "CMakeFiles/table3_bottlenecks.dir/table3_bottlenecks.cc.o.d"
+  "table3_bottlenecks"
+  "table3_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_pipeline.dir/ranking_pipeline.cpp.o"
+  "CMakeFiles/ranking_pipeline.dir/ranking_pipeline.cpp.o.d"
+  "ranking_pipeline"
+  "ranking_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

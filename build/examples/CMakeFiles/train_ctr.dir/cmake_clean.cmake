@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_ctr.dir/train_ctr.cpp.o"
+  "CMakeFiles/train_ctr.dir/train_ctr.cpp.o.d"
+  "train_ctr"
+  "train_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_core.dir/args.cc.o"
+  "CMakeFiles/recperf_core.dir/args.cc.o.d"
+  "CMakeFiles/recperf_core.dir/logging.cc.o"
+  "CMakeFiles/recperf_core.dir/logging.cc.o.d"
+  "CMakeFiles/recperf_core.dir/rng.cc.o"
+  "CMakeFiles/recperf_core.dir/rng.cc.o.d"
+  "CMakeFiles/recperf_core.dir/stats.cc.o"
+  "CMakeFiles/recperf_core.dir/stats.cc.o.d"
+  "librecperf_core.a"
+  "librecperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_fleet.dir/fleet_mix.cc.o"
+  "CMakeFiles/recperf_fleet.dir/fleet_mix.cc.o.d"
+  "librecperf_fleet.a"
+  "librecperf_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine_spec.cc" "src/machine/CMakeFiles/recperf_machine.dir/machine_spec.cc.o" "gcc" "src/machine/CMakeFiles/recperf_machine.dir/machine_spec.cc.o.d"
+  "/root/repo/src/machine/simd.cc" "src/machine/CMakeFiles/recperf_machine.dir/simd.cc.o" "gcc" "src/machine/CMakeFiles/recperf_machine.dir/simd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcache/CMakeFiles/recperf_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_machine.dir/machine_spec.cc.o"
+  "CMakeFiles/recperf_machine.dir/machine_spec.cc.o.d"
+  "CMakeFiles/recperf_machine.dir/simd.cc.o"
+  "CMakeFiles/recperf_machine.dir/simd.cc.o.d"
+  "librecperf_machine.a"
+  "librecperf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/recperf_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/recperf_model.dir/config.cc.o.d"
+  "/root/repo/src/model/ncf.cc" "src/model/CMakeFiles/recperf_model.dir/ncf.cc.o" "gcc" "src/model/CMakeFiles/recperf_model.dir/ncf.cc.o.d"
+  "/root/repo/src/model/proxy.cc" "src/model/CMakeFiles/recperf_model.dir/proxy.cc.o" "gcc" "src/model/CMakeFiles/recperf_model.dir/proxy.cc.o.d"
+  "/root/repo/src/model/rec_model.cc" "src/model/CMakeFiles/recperf_model.dir/rec_model.cc.o" "gcc" "src/model/CMakeFiles/recperf_model.dir/rec_model.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/model/CMakeFiles/recperf_model.dir/zoo.cc.o" "gcc" "src/model/CMakeFiles/recperf_model.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/recperf_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

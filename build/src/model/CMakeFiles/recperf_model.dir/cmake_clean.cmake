@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_model.dir/config.cc.o"
+  "CMakeFiles/recperf_model.dir/config.cc.o.d"
+  "CMakeFiles/recperf_model.dir/ncf.cc.o"
+  "CMakeFiles/recperf_model.dir/ncf.cc.o.d"
+  "CMakeFiles/recperf_model.dir/proxy.cc.o"
+  "CMakeFiles/recperf_model.dir/proxy.cc.o.d"
+  "CMakeFiles/recperf_model.dir/rec_model.cc.o"
+  "CMakeFiles/recperf_model.dir/rec_model.cc.o.d"
+  "CMakeFiles/recperf_model.dir/zoo.cc.o"
+  "CMakeFiles/recperf_model.dir/zoo.cc.o.d"
+  "librecperf_model.a"
+  "librecperf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

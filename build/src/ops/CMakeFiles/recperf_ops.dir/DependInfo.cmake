@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/batch_matmul.cc" "src/ops/CMakeFiles/recperf_ops.dir/batch_matmul.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/batch_matmul.cc.o.d"
+  "/root/repo/src/ops/conv.cc" "src/ops/CMakeFiles/recperf_ops.dir/conv.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/conv.cc.o.d"
+  "/root/repo/src/ops/elementwise.cc" "src/ops/CMakeFiles/recperf_ops.dir/elementwise.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/elementwise.cc.o.d"
+  "/root/repo/src/ops/fully_connected.cc" "src/ops/CMakeFiles/recperf_ops.dir/fully_connected.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/fully_connected.cc.o.d"
+  "/root/repo/src/ops/half.cc" "src/ops/CMakeFiles/recperf_ops.dir/half.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/half.cc.o.d"
+  "/root/repo/src/ops/lstm.cc" "src/ops/CMakeFiles/recperf_ops.dir/lstm.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/lstm.cc.o.d"
+  "/root/repo/src/ops/op_cost.cc" "src/ops/CMakeFiles/recperf_ops.dir/op_cost.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/op_cost.cc.o.d"
+  "/root/repo/src/ops/quantized_embedding.cc" "src/ops/CMakeFiles/recperf_ops.dir/quantized_embedding.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/quantized_embedding.cc.o.d"
+  "/root/repo/src/ops/reference.cc" "src/ops/CMakeFiles/recperf_ops.dir/reference.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/reference.cc.o.d"
+  "/root/repo/src/ops/sparse_lengths_sum.cc" "src/ops/CMakeFiles/recperf_ops.dir/sparse_lengths_sum.cc.o" "gcc" "src/ops/CMakeFiles/recperf_ops.dir/sparse_lengths_sum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/recperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

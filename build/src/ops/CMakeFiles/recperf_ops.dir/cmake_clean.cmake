@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_ops.dir/batch_matmul.cc.o"
+  "CMakeFiles/recperf_ops.dir/batch_matmul.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/conv.cc.o"
+  "CMakeFiles/recperf_ops.dir/conv.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/elementwise.cc.o"
+  "CMakeFiles/recperf_ops.dir/elementwise.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/fully_connected.cc.o"
+  "CMakeFiles/recperf_ops.dir/fully_connected.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/half.cc.o"
+  "CMakeFiles/recperf_ops.dir/half.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/lstm.cc.o"
+  "CMakeFiles/recperf_ops.dir/lstm.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/op_cost.cc.o"
+  "CMakeFiles/recperf_ops.dir/op_cost.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/quantized_embedding.cc.o"
+  "CMakeFiles/recperf_ops.dir/quantized_embedding.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/reference.cc.o"
+  "CMakeFiles/recperf_ops.dir/reference.cc.o.d"
+  "CMakeFiles/recperf_ops.dir/sparse_lengths_sum.cc.o"
+  "CMakeFiles/recperf_ops.dir/sparse_lengths_sum.cc.o.d"
+  "librecperf_ops.a"
+  "librecperf_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_sched.dir/scheduler.cc.o"
+  "CMakeFiles/recperf_sched.dir/scheduler.cc.o.d"
+  "librecperf_sched.a"
+  "librecperf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

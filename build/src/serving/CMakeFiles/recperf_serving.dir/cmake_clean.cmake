@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_serving.dir/distributed.cc.o"
+  "CMakeFiles/recperf_serving.dir/distributed.cc.o.d"
+  "CMakeFiles/recperf_serving.dir/server.cc.o"
+  "CMakeFiles/recperf_serving.dir/server.cc.o.d"
+  "librecperf_serving.a"
+  "librecperf_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_simcache.dir/cache.cc.o"
+  "CMakeFiles/recperf_simcache.dir/cache.cc.o.d"
+  "CMakeFiles/recperf_simcache.dir/hierarchy.cc.o"
+  "CMakeFiles/recperf_simcache.dir/hierarchy.cc.o.d"
+  "librecperf_simcache.a"
+  "librecperf_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_tensor.dir/tensor.cc.o"
+  "CMakeFiles/recperf_tensor.dir/tensor.cc.o.d"
+  "librecperf_tensor.a"
+  "librecperf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

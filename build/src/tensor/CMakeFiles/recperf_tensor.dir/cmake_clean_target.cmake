@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecperf_tensor.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/colocation.cc" "src/timing/CMakeFiles/recperf_timing.dir/colocation.cc.o" "gcc" "src/timing/CMakeFiles/recperf_timing.dir/colocation.cc.o.d"
+  "/root/repo/src/timing/model_timer.cc" "src/timing/CMakeFiles/recperf_timing.dir/model_timer.cc.o" "gcc" "src/timing/CMakeFiles/recperf_timing.dir/model_timer.cc.o.d"
+  "/root/repo/src/timing/op_timing.cc" "src/timing/CMakeFiles/recperf_timing.dir/op_timing.cc.o" "gcc" "src/timing/CMakeFiles/recperf_timing.dir/op_timing.cc.o.d"
+  "/root/repo/src/timing/tiered_memory.cc" "src/timing/CMakeFiles/recperf_timing.dir/tiered_memory.cc.o" "gcc" "src/timing/CMakeFiles/recperf_timing.dir/tiered_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/recperf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/recperf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/recperf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcache/CMakeFiles/recperf_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/recperf_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/recperf_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_timing.dir/colocation.cc.o"
+  "CMakeFiles/recperf_timing.dir/colocation.cc.o.d"
+  "CMakeFiles/recperf_timing.dir/model_timer.cc.o"
+  "CMakeFiles/recperf_timing.dir/model_timer.cc.o.d"
+  "CMakeFiles/recperf_timing.dir/op_timing.cc.o"
+  "CMakeFiles/recperf_timing.dir/op_timing.cc.o.d"
+  "CMakeFiles/recperf_timing.dir/tiered_memory.cc.o"
+  "CMakeFiles/recperf_timing.dir/tiered_memory.cc.o.d"
+  "librecperf_timing.a"
+  "librecperf_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/embedding_cache.cc" "src/trace/CMakeFiles/recperf_trace.dir/embedding_cache.cc.o" "gcc" "src/trace/CMakeFiles/recperf_trace.dir/embedding_cache.cc.o.d"
+  "/root/repo/src/trace/id_generator.cc" "src/trace/CMakeFiles/recperf_trace.dir/id_generator.cc.o" "gcc" "src/trace/CMakeFiles/recperf_trace.dir/id_generator.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/recperf_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/recperf_trace.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/recperf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_trace.dir/embedding_cache.cc.o"
+  "CMakeFiles/recperf_trace.dir/embedding_cache.cc.o.d"
+  "CMakeFiles/recperf_trace.dir/id_generator.cc.o"
+  "CMakeFiles/recperf_trace.dir/id_generator.cc.o.d"
+  "CMakeFiles/recperf_trace.dir/trace_file.cc.o"
+  "CMakeFiles/recperf_trace.dir/trace_file.cc.o.d"
+  "librecperf_trace.a"
+  "librecperf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf_train.dir/trainer.cc.o"
+  "CMakeFiles/recperf_train.dir/trainer.cc.o.d"
+  "librecperf_train.a"
+  "librecperf_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

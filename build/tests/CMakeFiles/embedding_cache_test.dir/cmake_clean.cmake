@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_cache_test.dir/embedding_cache_test.cc.o"
+  "CMakeFiles/embedding_cache_test.dir/embedding_cache_test.cc.o.d"
+  "embedding_cache_test"
+  "embedding_cache_test.pdb"
+  "embedding_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/half_test.dir/half_test.cc.o"
+  "CMakeFiles/half_test.dir/half_test.cc.o.d"
+  "half_test"
+  "half_test.pdb"
+  "half_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/half_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

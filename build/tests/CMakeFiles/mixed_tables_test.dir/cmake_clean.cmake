@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_tables_test.dir/mixed_tables_test.cc.o"
+  "CMakeFiles/mixed_tables_test.dir/mixed_tables_test.cc.o.d"
+  "mixed_tables_test"
+  "mixed_tables_test.pdb"
+  "mixed_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

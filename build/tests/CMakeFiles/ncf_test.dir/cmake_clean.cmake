@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncf_test.dir/ncf_test.cc.o"
+  "CMakeFiles/ncf_test.dir/ncf_test.cc.o.d"
+  "ncf_test"
+  "ncf_test.pdb"
+  "ncf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

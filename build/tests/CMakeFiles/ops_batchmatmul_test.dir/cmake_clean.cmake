@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_batchmatmul_test.dir/ops_batchmatmul_test.cc.o"
+  "CMakeFiles/ops_batchmatmul_test.dir/ops_batchmatmul_test.cc.o.d"
+  "ops_batchmatmul_test"
+  "ops_batchmatmul_test.pdb"
+  "ops_batchmatmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_batchmatmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_conv_lstm_test.dir/ops_conv_lstm_test.cc.o"
+  "CMakeFiles/ops_conv_lstm_test.dir/ops_conv_lstm_test.cc.o.d"
+  "ops_conv_lstm_test"
+  "ops_conv_lstm_test.pdb"
+  "ops_conv_lstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_conv_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

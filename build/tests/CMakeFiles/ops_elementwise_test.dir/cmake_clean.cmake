@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_elementwise_test.dir/ops_elementwise_test.cc.o"
+  "CMakeFiles/ops_elementwise_test.dir/ops_elementwise_test.cc.o.d"
+  "ops_elementwise_test"
+  "ops_elementwise_test.pdb"
+  "ops_elementwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_elementwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_fc_test.dir/ops_fc_test.cc.o"
+  "CMakeFiles/ops_fc_test.dir/ops_fc_test.cc.o.d"
+  "ops_fc_test"
+  "ops_fc_test.pdb"
+  "ops_fc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_fc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

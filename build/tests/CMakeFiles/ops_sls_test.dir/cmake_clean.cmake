@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_sls_test.dir/ops_sls_test.cc.o"
+  "CMakeFiles/ops_sls_test.dir/ops_sls_test.cc.o.d"
+  "ops_sls_test"
+  "ops_sls_test.pdb"
+  "ops_sls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_sls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_embedding_test.dir/quantized_embedding_test.cc.o"
+  "CMakeFiles/quantized_embedding_test.dir/quantized_embedding_test.cc.o.d"
+  "quantized_embedding_test"
+  "quantized_embedding_test.pdb"
+  "quantized_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_model_test.dir/rec_model_test.cc.o"
+  "CMakeFiles/rec_model_test.dir/rec_model_test.cc.o.d"
+  "rec_model_test"
+  "rec_model_test.pdb"
+  "rec_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_memory_test.dir/tiered_memory_test.cc.o"
+  "CMakeFiles/tiered_memory_test.dir/tiered_memory_test.cc.o.d"
+  "tiered_memory_test"
+  "tiered_memory_test.pdb"
+  "tiered_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recperf.dir/recperf_cli.cc.o"
+  "CMakeFiles/recperf.dir/recperf_cli.cc.o.d"
+  "recperf"
+  "recperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

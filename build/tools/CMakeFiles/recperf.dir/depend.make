@@ -1,0 +1,2 @@
+# Empty dependencies file for recperf.
+# This may be replaced when dependencies are built.
