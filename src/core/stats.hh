@@ -63,7 +63,14 @@ class LatencySample
     bool empty() const { return samples_.empty(); }
 
     double mean() const;
-    double p(double pct) const { return percentile(samples_, pct); }
+
+    /** Percentile query; 0.0 on an empty sample (e.g. a run whose
+     *  items were all shed), unlike the strict percentile(). */
+    double p(double pct) const
+    {
+        return samples_.empty() ? 0.0 : percentile(samples_, pct);
+    }
+
     double min() const;
     double max() const;
 

@@ -1,0 +1,104 @@
+#include "resilience/fault_injector.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+FaultInjector::FaultInjector(const FaultOptions &options,
+                             uint32_t num_shards)
+    : options_(options), straggler_rng_(options.seed ^ 0x51a6617ab1ULL),
+      spike_rng_(options.seed ^ 0x9c0ffee000ULL)
+{
+    RP_ASSERT(options_.stragglerProb >= 0.0 &&
+                  options_.stragglerProb <= 1.0,
+              "straggler probability %f out of [0,1]",
+              options_.stragglerProb);
+    RP_ASSERT(options_.stragglerAlpha > 1.0,
+              "pareto shape must exceed 1 for a finite mean");
+    RP_ASSERT(options_.stragglerMin >= 1.0,
+              "a straggler cannot be faster than the base service");
+    RP_ASSERT(options_.shardMtbfSeconds >= 0.0 &&
+                  options_.shardMttrSeconds >= 0.0,
+              "MTBF/MTTR must be non-negative");
+    RP_ASSERT(options_.spikeFactor >= 1.0, "spikes only slow things down");
+
+    Rng master(options.seed ^ 0x4e51713ab3ULL);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+        ShardState state;
+        state.rng = master.split();
+        if (options_.shardMtbfSeconds > 0.0) {
+            state.nextTransition = state.rng.nextExponential(
+                1.0 / options_.shardMtbfSeconds);
+        }
+        shards_.push_back(state);
+    }
+}
+
+void
+FaultInjector::advanceSpikes(double now)
+{
+    if (options_.spikeRatePerSec <= 0.0)
+        return;
+    if (next_spike_ == 0.0 && !in_spike_ && spikes_ == 0) {
+        next_spike_ = spike_rng_.nextExponential(options_.spikeRatePerSec);
+    }
+    for (;;) {
+        if (!in_spike_) {
+            if (next_spike_ > now)
+                break;
+            in_spike_ = true;
+            spike_end_ = next_spike_ + options_.spikeDurationSeconds;
+            ++spikes_;
+        } else {
+            if (spike_end_ > now)
+                break;
+            in_spike_ = false;
+            next_spike_ = spike_end_ +
+                spike_rng_.nextExponential(options_.spikeRatePerSec);
+        }
+    }
+}
+
+double
+FaultInjector::serviceMultiplier(double now)
+{
+    double mult = 1.0;
+    advanceSpikes(now);
+    if (in_spike_)
+        mult *= options_.spikeFactor;
+    if (options_.stragglerProb > 0.0 &&
+        straggler_rng_.nextBool(options_.stragglerProb)) {
+        // Pareto(alpha, x_min): x_min * u^(-1/alpha), u in (0, 1].
+        double u = 1.0 - straggler_rng_.nextDouble();
+        mult *= options_.stragglerMin *
+            std::pow(u, -1.0 / options_.stragglerAlpha);
+        ++stragglers_;
+    }
+    return mult;
+}
+
+bool
+FaultInjector::shardUp(uint32_t shard, double now)
+{
+    if (options_.shardMtbfSeconds <= 0.0)
+        return true;
+    RP_ASSERT(shard < shards_.size(), "shard %u out of range", shard);
+    ShardState &st = shards_[shard];
+    while (st.nextTransition <= now) {
+        st.up = !st.up;
+        double mean = st.up ? options_.shardMtbfSeconds
+                            : options_.shardMttrSeconds;
+        // Degenerate repair/failure times advance by a tiny epsilon so
+        // the renewal process always makes progress.
+        double dwell = mean > 0.0 ? st.rng.nextExponential(1.0 / mean)
+                                  : 1e-12;
+        st.nextTransition += dwell;
+    }
+    if (!st.up)
+        ++down_answers_;
+    return st.up;
+}
+
+} // namespace recperf

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Seeded fault injection for the serving layer.
+ *
+ * The paper's tail-latency study (§VI-A) shows that the p99 of
+ * production recommendation serving is dominated by effects the clean
+ * timing model does not produce on its own: co-location interference,
+ * OS/scheduler noise, and transient node misbehaviour. FaultInjector
+ * supplies those disturbances deterministically so mitigation policies
+ * (timeouts, retries, hedged requests, load shedding) can be evaluated
+ * reproducibly:
+ *
+ *  - stragglers: with probability p a service time is inflated by a
+ *    Pareto-distributed slowdown (heavy right tail, as observed in
+ *    datacenter traces);
+ *  - transient shard failures: each shard alternates between up and
+ *    down states with exponentially distributed time-to-failure (MTBF)
+ *    and time-to-repair (MTTR);
+ *  - load spikes: Poisson-arriving intervals during which every
+ *    service time is inflated by a constant factor (antagonist jobs,
+ *    §VI co-location).
+ *
+ * All randomness flows from one seed; the same seed and query sequence
+ * yields bit-identical fault schedules.
+ */
+
+#ifndef RECPERF_RESILIENCE_FAULT_INJECTOR_HH
+#define RECPERF_RESILIENCE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+
+namespace recperf {
+
+/** Knobs of the failure model. */
+struct FaultOptions
+{
+    /** Probability that a service-time sample is a straggler. */
+    double stragglerProb = 0.0;
+
+    /** Pareto tail shape of the straggler slowdown (> 1). */
+    double stragglerAlpha = 1.5;
+
+    /** Minimum slowdown factor of a straggler (Pareto scale, >= 1). */
+    double stragglerMin = 2.0;
+
+    /** Mean up-time of a shard before a transient failure; 0 disables
+     *  shard failures. */
+    double shardMtbfSeconds = 0.0;
+
+    /** Mean repair time of a failed shard. */
+    double shardMttrSeconds = 0.010;
+
+    /** Load-spike arrivals per second; 0 disables spikes. */
+    double spikeRatePerSec = 0.0;
+
+    /** Length of one load spike. */
+    double spikeDurationSeconds = 0.005;
+
+    /** Service-time inflation while a spike is active. */
+    double spikeFactor = 2.0;
+
+    uint64_t seed = 2020;
+
+    /** True when any fault channel is active. */
+    bool anyFaults() const
+    {
+        return stragglerProb > 0.0 || shardMtbfSeconds > 0.0 ||
+            spikeRatePerSec > 0.0;
+    }
+};
+
+/**
+ * Deterministic fault source consulted by the serving layer.
+ *
+ * Queries carry the simulation clock so the up/down and spike renewal
+ * processes unfold in simulated time. Processes advance lazily and
+ * monotonically: a query earlier than a previously seen time reuses the
+ * already-advanced state (queries within one inference are near-equal,
+ * so this keeps the schedule deterministic without bookkeeping).
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param num_shards independent shard failure processes to model;
+     *        0 when only service perturbation is needed.
+     */
+    FaultInjector(const FaultOptions &options, uint32_t num_shards);
+
+    /**
+     * Multiplier (>= 1) to apply to a service time sampled at
+     * simulation time @p now. Combines straggler and load-spike
+     * inflation.
+     */
+    double serviceMultiplier(double now);
+
+    /** Whether shard @p shard is serving requests at time @p now. */
+    bool shardUp(uint32_t shard, double now);
+
+    uint32_t numShards() const
+    {
+        return static_cast<uint32_t>(shards_.size());
+    }
+
+    /** Straggler slowdowns injected so far. */
+    uint64_t stragglersInjected() const { return stragglers_; }
+
+    /** Load spikes started so far. */
+    uint64_t spikesStarted() const { return spikes_; }
+
+    /** Queries answered "shard down" so far. */
+    uint64_t downAnswers() const { return down_answers_; }
+
+  private:
+    struct ShardState
+    {
+        bool up = true;
+        double nextTransition = 0.0;
+        Rng rng{0};
+    };
+
+    void advanceSpikes(double now);
+
+    FaultOptions options_;
+    Rng straggler_rng_;
+    Rng spike_rng_;
+    std::vector<ShardState> shards_;
+
+    bool in_spike_ = false;
+    double next_spike_ = 0.0;
+    double spike_end_ = 0.0;
+
+    uint64_t stragglers_ = 0;
+    uint64_t spikes_ = 0;
+    uint64_t down_answers_ = 0;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_RESILIENCE_FAULT_INJECTOR_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Mitigation policies layered against injected faults.
+ *
+ * Each policy is a small plain-options struct consumed by the serving
+ * layer:
+ *
+ *  - RetryPolicy: per-shard request timeout plus bounded retries with
+ *    exponential backoff. Exhausted retries surface as a *failed*
+ *    inference (never a hang).
+ *  - HedgePolicy: issue a duplicate ("hedged") request to a replica
+ *    once the primary has been outstanding longer than a p95-style
+ *    delay; the effective latency is min(primary, hedge) at the cost
+ *    of duplicated compute and network traffic (Dean & Barroso, "The
+ *    Tail at Scale").
+ *  - AdmissionOptions: shed an item at arrival when its predicted
+ *    queue wait already consumes more than a budgeted fraction of the
+ *    SLA — serving it would almost certainly miss, and it would drag
+ *    queued items past the SLA with it.
+ *  - DegradeOptions: under a deep backlog, serve smaller batches (to
+ *    bound per-batch latency) and drop low-priority items instead of
+ *    missing the SLA for everyone.
+ */
+
+#ifndef RECPERF_RESILIENCE_POLICIES_HH
+#define RECPERF_RESILIENCE_POLICIES_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace recperf {
+
+/** Per-shard timeout + bounded retry with exponential backoff. */
+struct RetryPolicy
+{
+    /** Abandon an attempt after this long; 0 waits out any straggler
+     *  (failed shards still fail fast, so no policy ever hangs). */
+    double timeoutSeconds = 0.0;
+
+    /** Re-sends after the initial attempt. */
+    int maxRetries = 2;
+
+    /** Backoff before the first retry; doubles every retry. */
+    double backoffSeconds = 200e-6;
+
+    /** Growth of the backoff per retry. */
+    double backoffMultiplier = 2.0;
+
+    /** Detection latency of a down shard (connection refused). */
+    double failFastSeconds = 20e-6;
+
+    /** Backoff inserted before retry number @p retry (0-based). */
+    double backoffBefore(int retry) const
+    {
+        return backoffSeconds * std::pow(backoffMultiplier, retry);
+    }
+};
+
+/** Hedged (duplicate) requests against a shard replica. */
+struct HedgePolicy
+{
+    bool enabled = false;
+
+    /** Outstanding time before the hedge is sent; 0 auto-calibrates to
+     *  the p95 of the warmup shard service times. */
+    double delaySeconds = 0.0;
+};
+
+/** SLA-aware admission control on the batching queue. */
+struct AdmissionOptions
+{
+    bool enabled = false;
+
+    /** Shed an item when its predicted wait exceeds this fraction of
+     *  the SLA (the remainder is budget for service time). */
+    double maxWaitFraction = 0.5;
+};
+
+/** Degraded-service mode under overload. */
+struct DegradeOptions
+{
+    bool enabled = false;
+
+    /** Enter degraded mode when the backlog exceeds this many maximum
+     *  batches' worth of items. */
+    double backlogFactor = 2.0;
+
+    /** Batch cap while degraded (bounds per-batch latency). */
+    int64_t degradedMaxBatch = 8;
+
+    /** Fraction of items marked low priority; they are dropped (not
+     *  served) while degraded. */
+    double lowPriorityFraction = 0.0;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_RESILIENCE_POLICIES_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/stats.hh"
 
 namespace recperf {
 
@@ -37,6 +38,21 @@ shardConfig(const ModelConfig &base, uint32_t shard, uint32_t num_shards)
 
 } // namespace
 
+double
+ResilientShardedResult::availability() const
+{
+    uint64_t total = completed + failed;
+    return total > 0 ? static_cast<double>(completed) /
+        static_cast<double>(total) : 0.0;
+}
+
+double
+ResilientShardedResult::goodput() const
+{
+    return duration > 0.0 ? static_cast<double>(completed) / duration
+                          : 0.0;
+}
+
 ShardedInference::ShardedInference(const MachineSpec &machine,
                                    const ModelConfig &config,
                                    uint32_t num_nodes,
@@ -55,8 +71,10 @@ ShardedInference::ShardedInference(const MachineSpec &machine,
     for (uint32_t s = 0; s < num_nodes; ++s) {
         TimerOptions opts = options_;
         opts.seed = options_.seed + 0x4000ull * (s + 1);
+        ModelConfig shard_cfg = shardConfig(config_, s, num_nodes);
+        shard_tables_.push_back(shard_cfg.emb.numTables);
         shard_timers_.push_back(std::make_unique<ModelTimer>(
-            machine_, shardConfig(config_, s, num_nodes), opts));
+            machine_, shard_cfg, opts));
     }
 
     // The aggregator runs everything except the embedding gathers; it
@@ -100,16 +118,158 @@ ShardedInference::run(int warmup_iters, int measure_iters)
 
     // Pooled vectors: one embDim-vector per (sample, table) crosses the
     // network; with one node everything is local.
-    if (numNodes() > 1) {
-        result.networkBytes = static_cast<double>(options_.batch) *
-            static_cast<double>(config_.emb.numTables) *
-            static_cast<double>(config_.emb.embDim) * 4.0;
-        result.networkSeconds = network_.rttUs * 1e-6 +
-            result.networkBytes / (network_.bandwidthGBps * 1e9);
-    }
+    result.networkSeconds = networkSeconds(&result.networkBytes);
 
     result.totalSeconds = result.slowestShardSeconds +
         result.networkSeconds + result.aggregatorSeconds;
+    return result;
+}
+
+double
+ShardedInference::shardNetworkBytes(uint32_t shard) const
+{
+    if (numNodes() <= 1)
+        return 0.0;
+    return static_cast<double>(options_.batch) *
+        static_cast<double>(shard_tables_.at(shard)) *
+        static_cast<double>(config_.emb.embDim) * 4.0;
+}
+
+double
+ShardedInference::networkSeconds(double *bytes_out) const
+{
+    double bytes = 0.0;
+    double seconds = 0.0;
+    if (numNodes() > 1) {
+        bytes = static_cast<double>(options_.batch) *
+            static_cast<double>(config_.emb.numTables) *
+            static_cast<double>(config_.emb.embDim) * 4.0;
+        seconds = network_.rttUs * 1e-6 +
+            bytes / (network_.bandwidthGBps * 1e9);
+    }
+    if (bytes_out)
+        *bytes_out = bytes;
+    return seconds;
+}
+
+ShardedInference::ShardOutcome
+ShardedInference::resolveShard(FaultInjector &injector,
+                               const RetryPolicy &retry,
+                               const HedgePolicy &hedge,
+                               double hedge_delay, uint32_t shard,
+                               double base_seconds, double now,
+                               ResilientShardedResult *result)
+{
+    double waited = 0.0;
+    int max_attempts = retry.maxRetries + 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        double t_start = now + waited;
+        if (!injector.shardUp(shard, t_start)) {
+            ++result->shardDownEncounters;
+            if (hedge.enabled) {
+                // The hedge goes to a replica node, so it rescues the
+                // request even while the primary shard is down.
+                double hedged = base_seconds *
+                    injector.serviceMultiplier(t_start + hedge_delay);
+                ++result->hedgesIssued;
+                ++result->hedgeWins;
+                result->hedgeExtraSeconds += hedged;
+                result->hedgeExtraBytes += shardNetworkBytes(shard);
+                return {waited + hedge_delay + hedged, true};
+            }
+            result->wastedSeconds += retry.failFastSeconds;
+            waited += retry.failFastSeconds;
+        } else {
+            double service = base_seconds *
+                injector.serviceMultiplier(t_start);
+            if (hedge.enabled && service > hedge_delay) {
+                double hedged = hedge_delay + base_seconds *
+                    injector.serviceMultiplier(t_start + hedge_delay);
+                ++result->hedgesIssued;
+                result->hedgeExtraSeconds += hedged - hedge_delay;
+                result->hedgeExtraBytes += shardNetworkBytes(shard);
+                if (hedged < service) {
+                    ++result->hedgeWins;
+                    service = hedged;
+                }
+            }
+            if (retry.timeoutSeconds > 0.0 &&
+                service > retry.timeoutSeconds) {
+                ++result->timeouts;
+                result->wastedSeconds += retry.timeoutSeconds;
+                waited += retry.timeoutSeconds;
+            } else {
+                return {waited + service, true};
+            }
+        }
+        if (attempt + 1 < max_attempts) {
+            ++result->retries;
+            waited += retry.backoffBefore(attempt);
+        }
+    }
+    return {waited, false};
+}
+
+ResilientShardedResult
+ShardedInference::runResilient(int warmup_iters, int measure_iters,
+                               const FaultOptions &faults,
+                               const RetryPolicy &retry,
+                               const HedgePolicy &hedge)
+{
+    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
+    RP_ASSERT(retry.maxRetries >= 0, "maxRetries cannot be negative");
+
+    FaultInjector injector(faults, numNodes());
+    ResilientShardedResult result;
+
+    // Warmup doubles as hedge-delay calibration: the auto delay is the
+    // p95 of clean (un-faulted) shard service times.
+    std::vector<double> calib;
+    int warmup = std::max(warmup_iters, 1);
+    for (int i = 0; i < warmup; ++i) {
+        for (auto &timer : shard_timers_)
+            calib.push_back(timer->run().secondsByKind(OpKind::SLS));
+        agg_timer_->run();
+    }
+    double hedge_delay = hedge.delaySeconds > 0.0 ? hedge.delaySeconds
+                                                  : percentile(calib, 95.0);
+
+    double now = 0.0;
+    for (int i = 0; i < measure_iters; ++i) {
+        double slowest = 0.0;
+        double elapsed_max = 0.0;
+        bool ok = true;
+        for (uint32_t s = 0; s < numNodes(); ++s) {
+            double base =
+                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
+            ShardOutcome out = resolveShard(injector, retry, hedge,
+                                            hedge_delay, s, base, now,
+                                            &result);
+            elapsed_max = std::max(elapsed_max, out.elapsed);
+            if (out.ok)
+                slowest = std::max(slowest, out.elapsed);
+            else
+                ok = false;
+        }
+        ModelTiming agg = agg_timer_->run();
+        double agg_seconds =
+            agg.totalSeconds() - agg.secondsByKind(OpKind::SLS);
+        double network = networkSeconds(nullptr);
+
+        if (ok) {
+            double total = slowest + network + agg_seconds;
+            result.latency.add(total);
+            ++result.completed;
+            now += total;
+        } else {
+            // The aggregator abandons the inference once the slowest
+            // shard exhausts its retries; no result is produced.
+            ++result.failed;
+            result.wastedSeconds += agg_seconds;
+            now += elapsed_max + network;
+        }
+    }
+    result.duration = now;
     return result;
 }
 

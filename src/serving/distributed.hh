@@ -18,6 +18,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/stats.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/policies.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -42,6 +45,55 @@ struct ShardedResult
 };
 
 /**
+ * Outcome of a fault-injected sharded run with mitigation policies
+ * (timeouts, retries, hedging) active.
+ */
+struct ResilientShardedResult
+{
+    /** End-to-end latency of each *completed* inference (seconds). */
+    LatencySample latency;
+
+    /** Inferences whose shards all answered (possibly after retries or
+     *  via a hedge). */
+    uint64_t completed = 0;
+
+    /** Inferences abandoned after retry exhaustion on some shard. */
+    uint64_t failed = 0;
+
+    uint64_t hedgesIssued = 0;
+
+    /** Hedges that beat (or rescued) the primary request. */
+    uint64_t hedgeWins = 0;
+
+    /** Re-sends after a timeout or a down shard. */
+    uint64_t retries = 0;
+
+    /** Attempts abandoned at the timeout. */
+    uint64_t timeouts = 0;
+
+    /** Attempts that hit a shard in its down window. */
+    uint64_t shardDownEncounters = 0;
+
+    /** Duplicated shard compute bought by hedging (seconds). */
+    double hedgeExtraSeconds = 0.0;
+
+    /** Duplicated pooled-vector traffic bought by hedging (bytes). */
+    double hedgeExtraBytes = 0.0;
+
+    /** Time burnt in timed-out and failed attempts (seconds). */
+    double wastedSeconds = 0.0;
+
+    /** Virtual wall-clock span of the measured loop (seconds). */
+    double duration = 0.0;
+
+    /** Fraction of inferences that completed. */
+    double availability() const;
+
+    /** Completed inferences per second of virtual wall-clock. */
+    double goodput() const;
+};
+
+/**
  * Times table-wise sharded inference of one model over N nodes of the
  * same machine type.
  */
@@ -60,15 +112,58 @@ class ShardedInference
     /** Average per-inference latency in steady state. */
     ShardedResult run(int warmup_iters, int measure_iters);
 
+    /**
+     * Closed-loop run under injected faults with mitigation policies.
+     *
+     * Per inference, every shard request is resolved against the fault
+     * schedule: a down shard fails fast and is retried (with
+     * exponential backoff) up to RetryPolicy::maxRetries times; an
+     * attempt outliving the timeout is abandoned and retried; when
+     * hedging is on, a duplicate request goes to a replica after the
+     * hedge delay and the shard's latency becomes min(primary, hedge).
+     * Retry exhaustion on any shard fails the inference — it never
+     * hangs. Fully deterministic for a given FaultOptions::seed.
+     *
+     * Warmup also calibrates the auto hedge delay
+     * (HedgePolicy::delaySeconds == 0) to the p95 of observed shard
+     * service times.
+     */
+    ResilientShardedResult runResilient(int warmup_iters,
+                                        int measure_iters,
+                                        const FaultOptions &faults,
+                                        const RetryPolicy &retry,
+                                        const HedgePolicy &hedge);
+
     uint32_t numNodes() const;
 
   private:
+    struct ShardOutcome
+    {
+        double elapsed = 0.0;
+        bool ok = false;
+    };
+
+    ShardOutcome resolveShard(FaultInjector &injector,
+                              const RetryPolicy &retry,
+                              const HedgePolicy &hedge,
+                              double hedge_delay, uint32_t shard,
+                              double base_seconds, double now,
+                              ResilientShardedResult *result);
+
+    /** Pooled-vector bytes one shard ships per inference. */
+    double shardNetworkBytes(uint32_t shard) const;
+
+    /** Network cost of one inference (all-to-one pooled vectors). */
+    double networkSeconds(double *bytes_out) const;
+
     MachineSpec machine_;
     ModelConfig config_;
     NetworkConfig network_;
     TimerOptions options_;
     /** One timer per shard, holding that node's table subset. */
     std::vector<std::unique_ptr<ModelTimer>> shard_timers_;
+    /** Tables held by each shard (round-robin deal). */
+    std::vector<int64_t> shard_tables_;
     /** Timer for the aggregator's dense work (no tables). */
     std::unique_ptr<ModelTimer> agg_timer_;
 };

@@ -33,9 +33,17 @@ ServingStats::totalThroughput() const
 double
 ServingStats::slaFraction() const
 {
-    uint64_t total = slaMet + slaMissed;
+    uint64_t total = completedItems();
     return total > 0 ? static_cast<double>(slaMet) /
         static_cast<double>(total) : 0.0;
+}
+
+double
+ServingStats::servedFraction() const
+{
+    uint64_t offered = offeredItems();
+    return offered > 0 ? static_cast<double>(completedItems()) /
+        static_cast<double>(offered) : 0.0;
 }
 
 Server::Server(const MachineSpec &machine, const ModelConfig &config,
@@ -43,10 +51,17 @@ Server::Server(const MachineSpec &machine, const ModelConfig &config,
                const ServerOptions &options)
     : machine_(machine), options_(options),
       jitter_rng_(options.seed ^ 0xa5a5a5a5ULL),
-      arrival_rng_(options.seed ^ 0x5a5a5a5aULL)
+      arrival_rng_(options.seed ^ 0x5a5a5a5aULL),
+      priority_rng_(options.seed ^ 0x3c3c3c3cULL)
 {
     RP_ASSERT(options_.numWorkers >= 1, "server needs at least one worker");
     RP_ASSERT(options_.maxBatch >= 1, "maxBatch must be positive");
+    if (options_.degrade.enabled) {
+        RP_ASSERT(options_.degrade.degradedMaxBatch >= 1,
+                  "degraded batch cap must be positive");
+    }
+    if (options_.faults.anyFaults())
+        injector_ = std::make_unique<FaultInjector>(options_.faults, 0);
 
     hier_ = machine_.makeHierarchy(options_.numWorkers);
     bool ht = options_.numWorkers > machine_.coresPerSocket;
@@ -90,12 +105,15 @@ Server::numWorkers() const
 }
 
 double
-Server::serviceBatch(size_t worker, int64_t batch, double *fc_seconds)
+Server::serviceBatch(size_t worker, int64_t batch, double now,
+                     double *fc_seconds)
 {
     workers_[worker]->setBatch(batch);
     ModelTiming timing = workers_[worker]->run();
     double jitter = std::exp(jitter_rng_.nextGaussian() *
                              options_.jitterSigma);
+    if (injector_)
+        jitter *= injector_->serviceMultiplier(now);
     if (fc_seconds)
         *fc_seconds = timing.secondsByKind(OpKind::FC) * jitter;
     return timing.totalSeconds() * jitter;
@@ -116,10 +134,28 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         arrivals.push_back(t);
     }
 
+    // Priorities are drawn from their own stream so enabling degraded
+    // mode does not perturb the arrival process.
+    std::vector<bool> low_priority;
+    if (options_.degrade.enabled &&
+        options_.degrade.lowPriorityFraction > 0.0) {
+        low_priority.resize(arrivals.size());
+        for (size_t i = 0; i < arrivals.size(); ++i) {
+            low_priority[i] = priority_rng_.nextBool(
+                options_.degrade.lowPriorityFraction);
+        }
+    }
+
     std::priority_queue<WorkerSlot, std::vector<WorkerSlot>,
                         std::greater<>> free_at;
     for (size_t w = 0; w < workers_.size(); ++w)
         free_at.emplace(0.0, w);
+
+    // Wait budget of the admission controller: an item whose queueing
+    // delay already exceeds this fraction of the SLA is shed, leaving
+    // the remainder of the SLA for service time.
+    double wait_budget = options_.slaSeconds *
+        options_.admission.maxWaitFraction;
 
     ServingStats stats;
     size_t next = 0;
@@ -129,22 +165,62 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         free_at.pop();
 
         double start = std::max(t_free, arrivals[next]);
-        size_t end = next;
-        while (end < arrivals.size() &&
-               arrivals[end] <= start &&
-               static_cast<int64_t>(end - next) < options_.maxBatch) {
-            ++end;
+
+        // Backlog of items already waiting at this instant.
+        size_t backlog_end = next;
+        while (backlog_end < arrivals.size() &&
+               arrivals[backlog_end] <= start) {
+            ++backlog_end;
         }
-        int64_t batch = static_cast<int64_t>(end - next);
+        size_t backlog = backlog_end - next;
+
+        bool degraded = options_.degrade.enabled &&
+            static_cast<double>(backlog) >
+                options_.degrade.backlogFactor *
+                    static_cast<double>(options_.maxBatch);
+        int64_t batch_cap = degraded
+            ? std::min(options_.degrade.degradedMaxBatch,
+                       options_.maxBatch)
+            : options_.maxBatch;
+
+        // Form the batch, shedding and dropping as policy dictates.
+        // An item arriving exactly at `start` has zero wait, so the
+        // loop always consumes at least one item and terminates.
+        std::vector<double> batch_arrivals;
+        while (next < backlog_end &&
+               static_cast<int64_t>(batch_arrivals.size()) < batch_cap) {
+            double wait = start - arrivals[next];
+            if (options_.admission.enabled && wait > wait_budget) {
+                ++stats.shedItems;
+                ++next;
+                continue;
+            }
+            if (degraded && !low_priority.empty() && low_priority[next]) {
+                ++stats.droppedLowPriority;
+                ++next;
+                continue;
+            }
+            batch_arrivals.push_back(arrivals[next]);
+            ++next;
+        }
+        if (batch_arrivals.empty()) {
+            // Everything waiting was shed or dropped; the worker polls
+            // again for the (now nearer) head of the queue.
+            free_at.emplace(start, w);
+            continue;
+        }
+        if (degraded)
+            ++stats.degradedBatches;
 
         double fc = 0.0;
-        double service = serviceBatch(w, batch, &fc);
+        double service = serviceBatch(
+            w, static_cast<int64_t>(batch_arrivals.size()), start, &fc);
         double finish = start + service;
         stats.serviceTime.add(service);
         stats.fcTime.add(fc);
 
-        for (size_t i = next; i < end; ++i) {
-            double latency = finish - arrivals[i];
+        for (double arrival : batch_arrivals) {
+            double latency = finish - arrival;
             stats.itemLatency.add(latency);
             if (latency <= options_.slaSeconds)
                 ++stats.slaMet;
@@ -152,7 +228,6 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                 ++stats.slaMissed;
         }
         last_finish = std::max(last_finish, finish);
-        next = end;
         free_at.emplace(finish, w);
     }
 
@@ -171,7 +246,8 @@ Server::runClosedLoop(uint64_t batches_per_worker)
     for (uint64_t b = 0; b < batches_per_worker; ++b) {
         for (size_t w = 0; w < workers_.size(); ++w) {
             double fc = 0.0;
-            double service = serviceBatch(w, options_.maxBatch, &fc);
+            double service = serviceBatch(w, options_.maxBatch, busy[w],
+                                          &fc);
             stats.serviceTime.add(service);
             stats.fcTime.add(fc);
             busy[w] += service;

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/stats.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/policies.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -42,6 +44,15 @@ struct ServerOptions
     double jitterSigma = 0.08;
 
     uint64_t seed = 1234;
+
+    /** SLA-aware load shedding at the batching queue. */
+    AdmissionOptions admission;
+
+    /** Degraded-service response to deep backlogs. */
+    DegradeOptions degrade;
+
+    /** Service-time fault injection (stragglers, load spikes). */
+    FaultOptions faults;
 };
 
 /** Outcome of a serving run. */
@@ -62,17 +73,39 @@ struct ServingStats
     /** Items that missed the SLA (would be preemptively dropped). */
     uint64_t slaMissed = 0;
 
+    /** Items shed at admission (predicted wait beyond the budget). */
+    uint64_t shedItems = 0;
+
+    /** Low-priority items dropped while in degraded mode. */
+    uint64_t droppedLowPriority = 0;
+
+    /** Batches served with the degraded batch cap. */
+    uint64_t degradedBatches = 0;
+
     /** Wall-clock span of the simulation (seconds). */
     double duration = 0.0;
 
-    /** Items completing within SLA per second. */
+    /** Items that were actually served (met + missed the SLA). */
+    uint64_t completedItems() const { return slaMet + slaMissed; }
+
+    /** Items offered, whether served, shed, or dropped. */
+    uint64_t offeredItems() const
+    {
+        return completedItems() + shedItems + droppedLowPriority;
+    }
+
+    /** Items completing within SLA per second. All accessors are safe
+     *  on empty runs (they return 0 rather than dividing by zero). */
     double goodThroughput() const;
 
     /** All completed items per second. */
     double totalThroughput() const;
 
-    /** Fraction of items meeting the SLA. */
+    /** Fraction of served items meeting the SLA. */
     double slaFraction() const;
+
+    /** Fraction of offered items that were served at all. */
+    double servedFraction() const;
 };
 
 /**
@@ -100,7 +133,8 @@ class Server
     uint32_t numWorkers() const;
 
   private:
-    double serviceBatch(size_t worker, int64_t batch, double *fc_seconds);
+    double serviceBatch(size_t worker, int64_t batch, double now,
+                        double *fc_seconds);
 
     MachineSpec machine_;
     ServerOptions options_;
@@ -108,6 +142,9 @@ class Server
     std::vector<std::unique_ptr<ModelTimer>> workers_;
     Rng jitter_rng_;
     Rng arrival_rng_;
+    Rng priority_rng_;
+    /** Present when the failure model is active. */
+    std::unique_ptr<FaultInjector> injector_;
 };
 
 } // namespace recperf

@@ -97,6 +97,35 @@ TEST(Server, TailAboveMedian)
     EXPECT_GE(stats.itemLatency.p(50), stats.itemLatency.p(5));
 }
 
+TEST(Server, TailLatencyRegression)
+{
+    // Tail-latency regression guard: percentiles must stay ordered and
+    // the SLA-miss fraction must grow monotonically as the arrival
+    // rate passes saturation (§VI-A / Fig 10-11 behaviour).
+    ServerOptions opts = baseOptions();
+    opts.numWorkers = 1;
+    opts.maxBatch = 8;
+    opts.slaSeconds = 0.005;
+
+    double prev_missed = -1.0;
+    for (double rate : {500.0, 20'000.0, 200'000.0}) {
+        Server server(broadwell(), rmc1Small(), TimerOptions{}, opts);
+        ServingStats stats = server.runOpenLoop(rate, 1'500);
+        ASSERT_GT(stats.itemLatency.count(), 0u);
+
+        // Percentile ordering (p99 >= p50 >= p5) at every load level.
+        EXPECT_GE(stats.itemLatency.p(99), stats.itemLatency.p(50));
+        EXPECT_GE(stats.itemLatency.p(50), stats.itemLatency.p(5));
+
+        double missed = static_cast<double>(stats.slaMissed) /
+            static_cast<double>(stats.completedItems());
+        EXPECT_GE(missed, prev_missed);
+        prev_missed = missed;
+    }
+    // Past saturation, most items miss the SLA.
+    EXPECT_GT(prev_missed, 0.5);
+}
+
 TEST(Server, JitterWidensServiceDistribution)
 {
     ServerOptions no_jitter = baseOptions();

@@ -6,6 +6,10 @@
  *   time      time one model on one machine at one batch size
  *   colocate  sweep co-located instances on a socket
  *   serve     open-loop serving simulation with SLA accounting
+ *             (optionally with fault injection, admission control,
+ *             and degraded-service mode)
+ *   shard     sharded inference under injected faults with
+ *             timeout/retry and hedged requests
  *   trace     report the unique-ID fraction of a trace profile
  *   zoo       list the model zoo and machine fleet
  *
@@ -13,6 +17,9 @@
  *   recperf time --model rmc2 --machine skylake --batch 64
  *   recperf colocate --model rmc2 --machine broadwell --max-tenants 8
  *   recperf serve --model rmc1 --workers 8 --rate 50000 --sla-ms 10
+ *   recperf serve --rate 80000 --admission --admit-wait 0.5 \
+ *                 --straggler-prob 0.05
+ *   recperf shard --model rmc2 --nodes 8 --hedge --mtbf-ms 50
  *   recperf trace --zipf 1.05 --repeat 0.65
  */
 
@@ -24,6 +31,9 @@
 #include "core/logging.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
+#include "resilience/fault_injector.hh"
+#include "resilience/policies.hh"
+#include "serving/distributed.hh"
 #include "serving/server.hh"
 #include "timing/colocation.hh"
 #include "timing/model_timer.hh"
@@ -125,6 +135,23 @@ cmdColocate(ArgParser &args)
     return 0;
 }
 
+/** Failure-model options shared by serve and shard. */
+FaultOptions
+faultsFromArgs(ArgParser &args)
+{
+    FaultOptions f;
+    f.stragglerProb = args.optionDouble("straggler-prob");
+    f.stragglerAlpha = args.optionDouble("straggler-alpha");
+    f.stragglerMin = args.optionDouble("straggler-min");
+    f.shardMtbfSeconds = args.optionDouble("mtbf-ms") / 1e3;
+    f.shardMttrSeconds = args.optionDouble("mttr-ms") / 1e3;
+    f.spikeRatePerSec = args.optionDouble("spike-rate");
+    f.spikeDurationSeconds = args.optionDouble("spike-ms") / 1e3;
+    f.spikeFactor = args.optionDouble("spike-factor");
+    f.seed = static_cast<uint64_t>(args.optionInt("fault-seed"));
+    return f;
+}
+
 int
 cmdServe(ArgParser &args)
 {
@@ -134,6 +161,15 @@ cmdServe(ArgParser &args)
     sopts.numWorkers = static_cast<uint32_t>(args.optionInt("workers"));
     sopts.maxBatch = args.optionInt("batch");
     sopts.slaSeconds = args.optionDouble("sla-ms") / 1e3;
+    sopts.admission.enabled = args.flag("admission");
+    sopts.admission.maxWaitFraction = args.optionDouble("admit-wait");
+    sopts.degrade.enabled = args.optionInt("degrade-batch") > 0;
+    sopts.degrade.degradedMaxBatch = args.optionInt("degrade-batch");
+    sopts.degrade.backlogFactor = args.optionDouble("backlog-factor");
+    sopts.degrade.lowPriorityFraction = args.optionDouble("low-priority");
+    FaultOptions faults = faultsFromArgs(args);
+    faults.shardMtbfSeconds = 0.0; // shard failures only apply to shard
+    sopts.faults = faults;
 
     Server server(machine, cfg, TimerOptions{}, sopts);
     ServingStats stats = server.runOpenLoop(
@@ -157,6 +193,70 @@ cmdServe(ArgParser &args)
                     ? static_cast<double>(stats.itemLatency.count()) /
                         static_cast<double>(stats.serviceTime.count())
                     : 0.0);
+    if (sopts.admission.enabled || sopts.degrade.enabled) {
+        std::printf("  served:        %10.1f%% of offered items\n",
+                    stats.servedFraction() * 100);
+        std::printf("  shed:          %10llu items (admission)\n",
+                    static_cast<unsigned long long>(stats.shedItems));
+        std::printf("  dropped:       %10llu low-priority items\n",
+                    static_cast<unsigned long long>(
+                        stats.droppedLowPriority));
+        std::printf("  degraded:      %10llu batches\n",
+                    static_cast<unsigned long long>(
+                        stats.degradedBatches));
+    }
+    return 0;
+}
+
+int
+cmdShard(ArgParser &args)
+{
+    ModelConfig cfg = modelByName(args.option("model"));
+    MachineSpec machine = machineByName(args.option("machine"));
+    TimerOptions topts;
+    topts.batch = args.optionInt("batch");
+    auto nodes = static_cast<uint32_t>(args.optionInt("nodes"));
+
+    FaultOptions faults = faultsFromArgs(args);
+    RetryPolicy retry;
+    retry.timeoutSeconds = args.optionDouble("timeout-ms") / 1e3;
+    retry.maxRetries = static_cast<int>(args.optionInt("retries"));
+    HedgePolicy hedge;
+    hedge.enabled = args.flag("hedge");
+    hedge.delaySeconds = args.optionDouble("hedge-ms") / 1e3;
+
+    ShardedInference sim(machine, cfg, nodes, NetworkConfig{}, topts);
+    ResilientShardedResult r = sim.runResilient(
+        /*warmup_iters=*/20, static_cast<int>(args.optionInt("iters")),
+        faults, retry, hedge);
+
+    std::printf("sharded %s on %u x %s, batch %lld (straggler p=%.2f, "
+                "MTBF %.0f ms, hedge %s)\n", cfg.name.c_str(), nodes,
+                machine.name.c_str(),
+                static_cast<long long>(topts.batch),
+                faults.stragglerProb, faults.shardMtbfSeconds * 1e3,
+                hedge.enabled ? "on" : "off");
+    std::printf("  completed:     %10llu inferences (%.1f%% "
+                "availability)\n",
+                static_cast<unsigned long long>(r.completed),
+                r.availability() * 100);
+    std::printf("  failed:        %10llu (retry exhaustion)\n",
+                static_cast<unsigned long long>(r.failed));
+    std::printf("  latency p50:   %10.3f ms\n", r.latency.p(50) * 1e3);
+    std::printf("  latency p99:   %10.3f ms\n", r.latency.p(99) * 1e3);
+    std::printf("  goodput:       %10.0f inf/s\n", r.goodput());
+    std::printf("  hedges:        %10llu issued, %llu won\n",
+                static_cast<unsigned long long>(r.hedgesIssued),
+                static_cast<unsigned long long>(r.hedgeWins));
+    std::printf("  retries:       %10llu (%llu timeouts, %llu down "
+                "shards)\n",
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.timeouts),
+                static_cast<unsigned long long>(r.shardDownEncounters));
+    std::printf("  hedge cost:    %10.3f ms compute, %.1f KB network\n",
+                r.hedgeExtraSeconds * 1e3, r.hedgeExtraBytes / 1024.0);
+    std::printf("  wasted:        %10.3f ms (timeouts + failures)\n",
+                r.wastedSeconds * 1e3);
     return 0;
 }
 
@@ -230,6 +330,28 @@ main(int argc, char **argv)
     args.addOption("repeat", "0.5", "trace re-reference probability");
     args.addOption("rows", "2000000", "embedding rows (trace)");
     args.addOption("seed", "42", "random seed");
+    args.addOption("nodes", "4", "shard nodes (shard)");
+    args.addOption("straggler-prob", "0", "straggler probability");
+    args.addOption("straggler-alpha", "1.5", "straggler pareto shape");
+    args.addOption("straggler-min", "2", "minimum straggler slowdown");
+    args.addOption("mtbf-ms", "0", "shard mean time between failures");
+    args.addOption("mttr-ms", "10", "shard mean time to repair");
+    args.addOption("spike-rate", "0", "load spikes per second");
+    args.addOption("spike-ms", "5", "load spike duration");
+    args.addOption("spike-factor", "2", "slowdown during a spike");
+    args.addOption("fault-seed", "2020", "failure-model seed");
+    args.addOption("timeout-ms", "0", "per-shard timeout (0 = none)");
+    args.addOption("retries", "2", "max retries per shard request");
+    args.addFlag("hedge", "hedge slow shard requests to a replica");
+    args.addOption("hedge-ms", "0", "hedge delay (0 = auto p95)");
+    args.addFlag("admission", "shed items whose wait blows the SLA");
+    args.addOption("admit-wait", "0.5", "sheddable wait as SLA fraction");
+    args.addOption("degrade-batch", "0",
+                   "degraded-mode batch cap (0 = off)");
+    args.addOption("backlog-factor", "2",
+                   "backlog (in max batches) triggering degraded mode");
+    args.addOption("low-priority", "0.2",
+                   "fraction of items droppable when degraded");
     args.addFlag("help", "show this help");
 
     std::string error;
@@ -239,8 +361,8 @@ main(int argc, char **argv)
         return 2;
     }
     if (command == "help" || args.flag("help")) {
-        std::printf("usage: recperf <time|colocate|serve|trace|zoo> "
-                    "[options]\n\n%s", args.helpText().c_str());
+        std::printf("usage: recperf <time|colocate|serve|shard|trace|"
+                    "zoo> [options]\n\n%s", args.helpText().c_str());
         return 0;
     }
 
@@ -251,6 +373,8 @@ main(int argc, char **argv)
             return cmdColocate(args);
         if (command == "serve")
             return cmdServe(args);
+        if (command == "shard")
+            return cmdShard(args);
         if (command == "trace")
             return cmdTrace(args);
         if (command == "zoo")
