@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Thread-scaling microbenchmark for the parallel execution engine.
+ *
+ * Sweeps thread counts over (a) the GEMM shapes of the Table 1 model
+ * classes' FC stacks and (b) multi-table SparseLengthsSum
+ * configurations shaped like RMC1/RMC2/RMC3's embedding fan-out, and
+ * emits JSON with per-point throughput, speedup vs. 1 thread, and
+ * parallel efficiency. `scripts/run_bench.sh` writes the result to
+ * BENCH_parallel_ops.json so the repo carries a perf trajectory
+ * across PRs.
+ *
+ *   micro_parallel_ops [--threads 1,2,4,8] [--min-time 0.25]
+ *                      [--rows-cap 131072] [--out file.json]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/args.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/thread_pool.hh"
+#include "ops/fully_connected.hh"
+#include "ops/sparse_lengths_sum.hh"
+#include "tensor/tensor.hh"
+
+using namespace recperf;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Repeats fn, doubling the iteration count until min_time elapses. */
+template <typename Fn>
+double
+secondsPerIter(Fn fn, double min_time)
+{
+    fn(); // warm-up
+    int64_t iters = 1;
+    for (;;) {
+        double start = now();
+        for (int64_t i = 0; i < iters; ++i)
+            fn();
+        double elapsed = now() - start;
+        if (elapsed >= min_time)
+            return elapsed / static_cast<double>(iters);
+        iters *= 2;
+    }
+}
+
+std::vector<int>
+parseThreadList(const std::string &spec)
+{
+    std::vector<int> threads;
+    std::string token;
+    for (char c : spec) {
+        if (c == ',') {
+            if (!token.empty())
+                threads.push_back(std::stoi(token));
+            token.clear();
+        } else {
+            token += c;
+        }
+    }
+    if (!token.empty())
+        threads.push_back(std::stoi(token));
+    RP_ASSERT(!threads.empty() && threads.front() == 1,
+              "--threads list must start with 1 (the speedup baseline)");
+    return threads;
+}
+
+// ------------------------------------------------------------- GEMM sweep
+
+struct GemmCase
+{
+    const char *name; // which Table 1 FC stack the shape comes from
+    int64_t m, n, k;  // C[m,n] = A[m,k] * B[n,k]^T
+};
+
+// Bottom/Top-FC layer shapes of the zoo models at serving batch sizes
+// (m = batch). RMC3's first bottom layer is the paper's
+// compute-intensity extreme; RMC1's stack is the light filtering case.
+const GemmCase kGemmCases[] = {
+    {"rmc1-bottom0-b256", 256, 128, 128},
+    {"rmc1-top0-b256", 256, 128, 160},
+    {"rmc3-bottom0-b64", 64, 2560, 2048},
+    {"rmc3-bottom1-b64", 64, 256, 2560},
+    {"rmc3-top0-b64", 64, 512, 256},
+};
+
+struct SweepPoint
+{
+    int threads = 1;
+    double seconds = 0.0;
+    double speedup = 1.0;
+    double efficiency = 1.0;
+};
+
+std::vector<SweepPoint>
+sweepGemm(const GemmCase &gc, const std::vector<int> &thread_list,
+          double min_time, Rng &rng)
+{
+    Tensor a({gc.m, gc.k}), b({gc.n, gc.k}), c({gc.m, gc.n});
+    a.fillUniform(rng, -1.0f, 1.0f);
+    b.fillUniform(rng, -1.0f, 1.0f);
+
+    std::vector<SweepPoint> points;
+    for (int threads : thread_list) {
+        setGlobalThreadCount(threads);
+        SweepPoint p;
+        p.threads = threads;
+        p.seconds = secondsPerIter(
+            [&] {
+                gemmBt(a.data(), b.data(), c.data(), gc.m, gc.n, gc.k,
+                       /*accumulate=*/false);
+            },
+            min_time);
+        p.speedup = points.empty() ? 1.0
+                                   : points.front().seconds / p.seconds;
+        p.efficiency = p.speedup / threads;
+        points.push_back(p);
+    }
+    return points;
+}
+
+// -------------------------------------------------------------- SLS sweep
+
+struct SlsCase
+{
+    const char *name;
+    int64_t tables;  // fan-out width (inter-op dimension)
+    int64_t rows;    // rows per table (capped for allocatability)
+    int64_t dim;     // embedding dimension
+    int64_t lookups; // pooled IDs per output slot
+    int64_t batch;   // output slots per table
+};
+
+// Embedding blocks of Table 1's model classes; rows are capped by
+// --rows-cap (production tables don't fit a benchmark heap) which
+// preserves the gather/reduce work per iteration exactly.
+const SlsCase kSlsCases[] = {
+    {"rmc1-4tables", 4, 200'000, 32, 80, 64},
+    {"rmc2-32tables", 32, 2'000'000, 32, 80, 16},
+    {"rmc3-4tables", 4, 2'000'000, 32, 20, 64},
+};
+
+std::vector<SweepPoint>
+sweepSls(const SlsCase &sc, int64_t rows_cap,
+         const std::vector<int> &thread_list, double min_time, Rng &rng)
+{
+    int64_t rows = std::min(sc.rows, rows_cap);
+    std::vector<EmbeddingTable> tables;
+    tables.reserve(static_cast<size_t>(sc.tables));
+    for (int64_t t = 0; t < sc.tables; ++t)
+        tables.emplace_back(rows, sc.dim, rng);
+
+    // One sparse input per table, Zipf-free uniform draws (locality
+    // effects are the cache simulator's domain; this benchmark
+    // measures the execution engine).
+    std::vector<std::vector<int64_t>> ids(
+        static_cast<size_t>(sc.tables));
+    std::vector<int64_t> lengths(static_cast<size_t>(sc.batch),
+                                 sc.lookups);
+    for (auto &table_ids : ids) {
+        for (int64_t i = 0; i < sc.batch * sc.lookups; ++i) {
+            table_ids.push_back(static_cast<int64_t>(
+                rng.nextBelow(static_cast<uint64_t>(rows))));
+        }
+    }
+
+    // Same fan-out policy as RecModel::forward: inter-op across tables
+    // when they outnumber threads, intra-op within each lookup
+    // otherwise.
+    std::vector<Tensor> pooled(static_cast<size_t>(sc.tables));
+    auto run = [&] {
+        if (sc.tables >= globalThreadCount()) {
+            parallelFor(0, sc.tables, 1, [&](int64_t lo, int64_t hi) {
+                for (int64_t t = lo; t < hi; ++t) {
+                    pooled[static_cast<size_t>(t)] =
+                        tables[static_cast<size_t>(t)].forward(
+                            ids[static_cast<size_t>(t)], lengths);
+                }
+            });
+        } else {
+            for (int64_t t = 0; t < sc.tables; ++t) {
+                pooled[static_cast<size_t>(t)] =
+                    tables[static_cast<size_t>(t)].forward(
+                        ids[static_cast<size_t>(t)], lengths);
+            }
+        }
+    };
+
+    std::vector<SweepPoint> points;
+    for (int threads : thread_list) {
+        setGlobalThreadCount(threads);
+        SweepPoint p;
+        p.threads = threads;
+        p.seconds = secondsPerIter(run, min_time);
+        p.speedup = points.empty() ? 1.0
+                                   : points.front().seconds / p.seconds;
+        p.efficiency = p.speedup / threads;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_parallel_ops",
+                   "thread-scaling sweep over GEMM and SLS hot paths");
+    args.addOption("threads", "1,2,4,8",
+                   "comma-separated thread counts (must start with 1)");
+    args.addOption("min-time", "0.25", "seconds per measurement");
+    args.addOption("rows-cap", "131072",
+                   "max embedding rows per table to allocate");
+    args.addOption("out", "", "write JSON here (default: stdout)");
+    args.addFlag("help", "show this help");
+
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    std::string error;
+    if (!args.parse(raw, &error)) {
+        std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                     args.helpText().c_str());
+        return 2;
+    }
+    if (args.flag("help")) {
+        std::printf("%s", args.helpText().c_str());
+        return 0;
+    }
+
+    std::vector<int> thread_list = parseThreadList(args.option("threads"));
+    double min_time = args.optionDouble("min-time");
+    int64_t rows_cap = args.optionInt("rows-cap");
+    Rng rng(7);
+
+    bench::banner("micro_parallel_ops — intra-/inter-op thread scaling");
+    std::string json = "{\n  \"benchmark\": \"micro_parallel_ops\",\n";
+    json += "  \"host_cores\": " +
+        std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    json += "  \"min_time_s\": " + std::to_string(min_time) + ",\n";
+
+    bench::section("GEMM (C[m,n] = A[m,k] * B[n,k]^T)");
+    json += "  \"gemm\": [\n";
+    bool first = true;
+    for (const GemmCase &gc : kGemmCases) {
+        std::vector<SweepPoint> points =
+            sweepGemm(gc, thread_list, min_time, rng);
+        double flops = 2.0 * static_cast<double>(gc.m) *
+            static_cast<double>(gc.n) * static_cast<double>(gc.k);
+        std::printf("%-20s m=%-4lld n=%-4lld k=%-4lld\n", gc.name,
+                    static_cast<long long>(gc.m),
+                    static_cast<long long>(gc.n),
+                    static_cast<long long>(gc.k));
+        for (const SweepPoint &p : points) {
+            std::printf("  %2d threads: %8.2f GFLOP/s  %5.2fx  "
+                        "(%.0f%% efficient)\n",
+                        p.threads, flops / p.seconds / 1e9, p.speedup,
+                        p.efficiency * 100);
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "%s    {\"name\": \"%s\", \"m\": %lld, "
+                          "\"n\": %lld, \"k\": %lld, \"threads\": %d, "
+                          "\"seconds_per_iter\": %.6e, "
+                          "\"gflops\": %.3f, \"speedup_vs_1t\": %.3f, "
+                          "\"efficiency\": %.3f}",
+                          first ? "" : ",\n", gc.name,
+                          static_cast<long long>(gc.m),
+                          static_cast<long long>(gc.n),
+                          static_cast<long long>(gc.k), p.threads,
+                          p.seconds, flops / p.seconds / 1e9, p.speedup,
+                          p.efficiency);
+            json += buf;
+            first = false;
+        }
+    }
+    json += "\n  ],\n";
+
+    bench::section("multi-table SparseLengthsSum (RecModel fan-out)");
+    json += "  \"sls\": [\n";
+    first = true;
+    for (const SlsCase &sc : kSlsCases) {
+        std::vector<SweepPoint> points =
+            sweepSls(sc, rows_cap, thread_list, min_time, rng);
+        double lookups_per_iter = static_cast<double>(
+            sc.tables * sc.batch * sc.lookups);
+        std::printf("%-20s %lld tables x %lld rows (cap %lld), dim "
+                    "%lld, %lld lookups, batch %lld\n", sc.name,
+                    static_cast<long long>(sc.tables),
+                    static_cast<long long>(sc.rows),
+                    static_cast<long long>(std::min(sc.rows, rows_cap)),
+                    static_cast<long long>(sc.dim),
+                    static_cast<long long>(sc.lookups),
+                    static_cast<long long>(sc.batch));
+        for (const SweepPoint &p : points) {
+            std::printf("  %2d threads: %8.2f Mlookups/s %5.2fx  "
+                        "(%.0f%% efficient)\n",
+                        p.threads, lookups_per_iter / p.seconds / 1e6,
+                        p.speedup, p.efficiency * 100);
+            char buf[320];
+            std::snprintf(buf, sizeof(buf),
+                          "%s    {\"name\": \"%s\", \"tables\": %lld, "
+                          "\"rows_per_table\": %lld, \"dim\": %lld, "
+                          "\"lookups\": %lld, \"batch\": %lld, "
+                          "\"threads\": %d, "
+                          "\"seconds_per_iter\": %.6e, "
+                          "\"mlookups_per_s\": %.3f, "
+                          "\"speedup_vs_1t\": %.3f, "
+                          "\"efficiency\": %.3f}",
+                          first ? "" : ",\n", sc.name,
+                          static_cast<long long>(sc.tables),
+                          static_cast<long long>(
+                              std::min(sc.rows, rows_cap)),
+                          static_cast<long long>(sc.dim),
+                          static_cast<long long>(sc.lookups),
+                          static_cast<long long>(sc.batch), p.threads,
+                          p.seconds, lookups_per_iter / p.seconds / 1e6,
+                          p.speedup, p.efficiency);
+            json += buf;
+            first = false;
+        }
+    }
+    json += "\n  ]\n}\n";
+
+    const std::string out = args.option("out");
+    if (out.empty()) {
+        std::printf("\n%s", json.c_str());
+    } else {
+        std::FILE *f = std::fopen(out.c_str(), "w");
+        RP_ASSERT(f != nullptr, "cannot open %s", out.c_str());
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", out.c_str());
+    }
+    return 0;
+}

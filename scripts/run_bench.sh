@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Build and run the thread-scaling microbenchmark, writing the JSON
+# result to BENCH_parallel_ops.json at the repo root so the perf
+# trajectory of the parallel execution engine is tracked in-tree.
+#
+# Usage: scripts/run_bench.sh [--threads 1,2,4,8] [--min-time 0.25]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build
+cmake --build build --target micro_parallel_ops
+
+./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
+echo "wrote $(pwd)/BENCH_parallel_ops.json"

@@ -2,6 +2,7 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "core/thread_pool.hh"
 #include "ops/batch_matmul.hh"
 #include "ops/elementwise.hh"
 
@@ -55,15 +56,42 @@ RecModel::forward(const ModelInput &input) const
               static_cast<long long>(config_.emb.numTables),
               input.sparse.size());
 
-    std::vector<Tensor> pooled;
-    pooled.reserve(input.sparse.size());
-    for (size_t t = 0; t < input.sparse.size(); ++t) {
-        const SparseInput &sp = input.sparse[t];
+    // Validate shapes up front, then fan the independent per-table
+    // lookups across the pool (inter-op parallelism — the RMC2 tables
+    // are the embedding fan-out the paper identifies as the
+    // memory-bound hot path). Each table's pooled gather runs the
+    // serial kernel inline, so outputs match the sequential loop
+    // bitwise.
+    int64_t num_tables = static_cast<int64_t>(input.sparse.size());
+    for (int64_t t = 0; t < num_tables; ++t) {
+        const SparseInput &sp = input.sparse[static_cast<size_t>(t)];
         if (batch == 0)
             batch = static_cast<int64_t>(sp.lengths.size());
         RP_ASSERT(static_cast<int64_t>(sp.lengths.size()) == batch,
-                  "%s: table %zu batch mismatch", config_.name.c_str(), t);
-        pooled.push_back(tables_[t].forward(sp.ids, sp.lengths));
+                  "%s: table %lld batch mismatch", config_.name.c_str(),
+                  static_cast<long long>(t));
+    }
+    std::vector<Tensor> pooled(static_cast<size_t>(num_tables));
+    if (num_tables >= globalThreadCount()) {
+        parallelFor(0, num_tables, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t t = lo; t < hi; ++t) {
+                const SparseInput &sp =
+                    input.sparse[static_cast<size_t>(t)];
+                pooled[static_cast<size_t>(t)] =
+                    tables_[static_cast<size_t>(t)].forward(sp.ids,
+                                                            sp.lengths);
+            }
+        });
+    } else {
+        // Fewer tables than threads: run tables sequentially and let
+        // each lookup parallelize across its output slots instead.
+        for (int64_t t = 0; t < num_tables; ++t) {
+            const SparseInput &sp =
+                input.sparse[static_cast<size_t>(t)];
+            pooled[static_cast<size_t>(t)] =
+                tables_[static_cast<size_t>(t)].forward(sp.ids,
+                                                        sp.lengths);
+        }
     }
 
     std::vector<const Tensor *> features;

@@ -1,6 +1,9 @@
 #include "ops/batch_matmul.hh"
 
+#include <algorithm>
+
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
 #include "ops/fully_connected.hh"
 
 namespace recperf {
@@ -19,9 +22,24 @@ batchMatMulBt(const Tensor &a, const Tensor &b)
 
     int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
     Tensor c({batch, m, n});
-    for (int64_t i = 0; i < batch; ++i) {
-        gemmBt(a.data() + i * m * k, b.data() + i * n * k,
-               c.data() + i * m * n, m, n, k, /*accumulate=*/false);
+    if (batch >= globalThreadCount()) {
+        // Enough independent matmuls to feed every thread: go
+        // inter-op. The nested gemmBt calls detect the surrounding
+        // region and run inline, so the kernel per item is the serial
+        // one — bitwise-identical either way.
+        parallelFor(0, batch, 1, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                gemmBt(a.data() + i * m * k, b.data() + i * n * k,
+                       c.data() + i * m * n, m, n, k,
+                       /*accumulate=*/false);
+            }
+        });
+    } else {
+        // Few large matmuls: let each gemmBt parallelize over rows.
+        for (int64_t i = 0; i < batch; ++i) {
+            gemmBt(a.data() + i * m * k, b.data() + i * n * k,
+                   c.data() + i * m * n, m, n, k, /*accumulate=*/false);
+        }
     }
     return c;
 }
@@ -36,21 +54,26 @@ dotInteraction(const Tensor &features)
     int64_t pairs = f * (f - 1) / 2;
 
     Tensor out({batch, pairs});
-    for (int64_t b = 0; b < batch; ++b) {
-        const float *z = features.data() + b * f * d;
-        float *dst = out.data() + b * pairs;
-        int64_t idx = 0;
-        for (int64_t i = 1; i < f; ++i) {
-            for (int64_t j = 0; j < i; ++j) {
-                const float *zi = z + i * d;
-                const float *zj = z + j * d;
-                float acc = 0.0f;
-                for (int64_t c = 0; c < d; ++c)
-                    acc += zi[c] * zj[c];
-                dst[idx++] = acc;
+    // One chunk should cover at least ~16K multiply-adds.
+    int64_t grain = std::max<int64_t>(
+        1, 16384 / std::max<int64_t>(1, pairs * d));
+    parallelFor(0, batch, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            const float *z = features.data() + b * f * d;
+            float *dst = out.data() + b * pairs;
+            int64_t idx = 0;
+            for (int64_t i = 1; i < f; ++i) {
+                for (int64_t j = 0; j < i; ++j) {
+                    const float *zi = z + i * d;
+                    const float *zj = z + j * d;
+                    float acc = 0.0f;
+                    for (int64_t c = 0; c < d; ++c)
+                        acc += zi[c] * zj[c];
+                    dst[idx++] = acc;
+                }
             }
         }
-    }
+    });
     return out;
 }
 

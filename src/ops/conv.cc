@@ -1,9 +1,13 @@
 #include "ops/conv.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/aligned.hh"
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "core/thread_pool.hh"
+#include "ops/fully_connected.hh"
 
 namespace recperf {
 
@@ -48,36 +52,48 @@ Conv2d::forward(const Tensor &x) const
 
     const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     const int64_t oh = outSize(h), ow = outSize(w);
+    const int64_t spatial = oh * ow;
+    const int64_t patch = in_ch_ * kernel_ * kernel_;
     Tensor y({n, out_ch_, oh, ow});
 
+    // im2col + gemmBt: each output pixel becomes a row of gathered
+    // input patches, and the [out_ch, patch] weight block is exactly
+    // gemmBt's B^T operand. The convolution thereby inherits the GEMM
+    // kernel's unrolling and thread-pool row parallelism.
+    AlignedBuffer<float> col(static_cast<size_t>(spatial * patch));
+    AlignedBuffer<float> prod(static_cast<size_t>(spatial * out_ch_));
     for (int64_t img = 0; img < n; ++img) {
-        for (int64_t oc = 0; oc < out_ch_; ++oc) {
-            for (int64_t oy = 0; oy < oh; ++oy) {
-                for (int64_t ox = 0; ox < ow; ++ox) {
-                    double acc = bias_.at(oc);
-                    for (int64_t ic = 0; ic < in_ch_; ++ic) {
-                        for (int64_t ky = 0; ky < kernel_; ++ky) {
-                            int64_t iy = oy * stride_ + ky - padding_;
-                            if (iy < 0 || iy >= h)
-                                continue;
-                            for (int64_t kx = 0; kx < kernel_; ++kx) {
-                                int64_t ix = ox * stride_ + kx - padding_;
-                                if (ix < 0 || ix >= w)
-                                    continue;
-                                double in_val = x.data()[
-                                    ((img * in_ch_ + ic) * h + iy) * w +
-                                    ix];
-                                double w_val = weight_.data()[
-                                    ((oc * in_ch_ + ic) * kernel_ + ky) *
-                                        kernel_ + kx];
-                                acc += in_val * w_val;
-                            }
+        const float *src = x.data() + img * in_ch_ * h * w;
+        int64_t grain =
+            std::max<int64_t>(1, 2048 / std::max<int64_t>(1, patch));
+        parallelFor(0, spatial, grain, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+                int64_t oy = r / ow, ox = r % ow;
+                float *dst = col.data() + r * patch;
+                for (int64_t ic = 0; ic < in_ch_; ++ic) {
+                    for (int64_t ky = 0; ky < kernel_; ++ky) {
+                        int64_t iy = oy * stride_ + ky - padding_;
+                        for (int64_t kx = 0; kx < kernel_; ++kx) {
+                            int64_t ix = ox * stride_ + kx - padding_;
+                            bool inside = iy >= 0 && iy < h && ix >= 0 &&
+                                ix < w;
+                            dst[(ic * kernel_ + ky) * kernel_ + kx] =
+                                inside ? src[(ic * h + iy) * w + ix]
+                                       : 0.0f;
                         }
                     }
-                    y.data()[((img * out_ch_ + oc) * oh + oy) * ow + ox] =
-                        static_cast<float>(acc);
                 }
             }
+        });
+        gemmBt(col.data(), weight_.data(), prod.data(), spatial,
+               out_ch_, patch, /*accumulate=*/false);
+        float *out = y.data() + img * out_ch_ * spatial;
+        for (int64_t oc = 0; oc < out_ch_; ++oc) {
+            float bias = bias_.at(oc);
+            for (int64_t r = 0; r < spatial; ++r)
+                out[oc * spatial + r] = prod[static_cast<size_t>(
+                                            r * out_ch_ + oc)] +
+                    bias;
         }
     }
     return y;

@@ -1,9 +1,12 @@
 #include "ops/lstm.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "core/thread_pool.hh"
 
 namespace recperf {
 
@@ -49,31 +52,42 @@ LstmCell::forward(const Tensor &x, const LstmState &state) const
               "LSTM input shape %s mismatches input size %lld",
               shapeToString(x.shape()).c_str(),
               static_cast<long long>(input_));
-    int64_t batch = x.dim(0);
+    // Fused gate pre-activations: [i; f; g; o] per sample.
+    return stepPreGated(w_.forward(x), state);
+}
+
+LstmState
+LstmCell::stepPreGated(Tensor gates, const LstmState &state) const
+{
+    int64_t batch = gates.dim(0);
     RP_ASSERT(state.h.dim(0) == batch && state.c.dim(0) == batch,
               "LSTM state batch mismatch");
 
-    // Fused gate pre-activations: [i; f; g; o] per sample.
-    Tensor gates = w_.forward(x);
     Tensor recur = u_.forward(state.h);
     for (int64_t i = 0; i < gates.size(); ++i)
         gates.data()[i] += recur.data()[i];
 
     LstmState next = initialState(batch);
-    for (int64_t b = 0; b < batch; ++b) {
-        const float *g = gates.data() + b * 4 * hidden_;
-        const float *c_prev = state.c.data() + b * hidden_;
-        float *c_next = next.c.data() + b * hidden_;
-        float *h_next = next.h.data() + b * hidden_;
-        for (int64_t j = 0; j < hidden_; ++j) {
-            float in_gate = sigmoidScalar(g[j]);
-            float forget = sigmoidScalar(g[hidden_ + j]);
-            float cand = std::tanh(g[2 * hidden_ + j]);
-            float out_gate = sigmoidScalar(g[3 * hidden_ + j]);
-            c_next[j] = forget * c_prev[j] + in_gate * cand;
-            h_next[j] = out_gate * std::tanh(c_next[j]);
+    // Gate math is independent per sample; keep chunks at ~1K
+    // transcendentals each.
+    int64_t grain = std::max<int64_t>(
+        1, 1024 / std::max<int64_t>(1, hidden_));
+    parallelFor(0, batch, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t b = lo; b < hi; ++b) {
+            const float *g = gates.data() + b * 4 * hidden_;
+            const float *c_prev = state.c.data() + b * hidden_;
+            float *c_next = next.c.data() + b * hidden_;
+            float *h_next = next.h.data() + b * hidden_;
+            for (int64_t j = 0; j < hidden_; ++j) {
+                float in_gate = sigmoidScalar(g[j]);
+                float forget = sigmoidScalar(g[hidden_ + j]);
+                float cand = std::tanh(g[2 * hidden_ + j]);
+                float out_gate = sigmoidScalar(g[3 * hidden_ + j]);
+                c_next[j] = forget * c_prev[j] + in_gate * cand;
+                h_next[j] = out_gate * std::tanh(c_next[j]);
+            }
         }
-    }
+    });
     return next;
 }
 
@@ -85,11 +99,20 @@ LstmCell::forwardSequence(const Tensor &xs, LstmState state) const
               shapeToString(xs.shape()).c_str(),
               static_cast<long long>(input_));
     int64_t seq = xs.dim(0), batch = xs.dim(1);
+    if (seq == 0)
+        return state;
+    // The input-side gate projections are independent across time, so
+    // one [seq*batch, 4h] GEMM replaces seq small ones; each row is
+    // reduced exactly as the per-step kernel would, so the state
+    // trajectory is bitwise-unchanged.
+    Tensor all_gates = w_.forward(xs.reshaped({seq * batch, input_}));
     for (int64_t t = 0; t < seq; ++t) {
-        Tensor x({batch, input_});
-        std::memcpy(x.data(), xs.data() + t * batch * input_,
-                    static_cast<size_t>(batch * input_) * sizeof(float));
-        state = forward(x, state);
+        Tensor gates({batch, 4 * hidden_});
+        std::memcpy(gates.data(),
+                    all_gates.data() + t * batch * 4 * hidden_,
+                    static_cast<size_t>(batch * 4 * hidden_) *
+                        sizeof(float));
+        state = stepPreGated(std::move(gates), state);
     }
     return state;
 }

@@ -50,7 +50,11 @@ class LstmCell
      */
     LstmState forward(const Tensor &x, const LstmState &state) const;
 
-    /** Process a sequence [seq, batch, input]; returns the final state. */
+    /**
+     * Process a sequence [seq, batch, input]; returns the final state.
+     * The input-side gate GEMMs (W x_t) for all timesteps are batched
+     * into one gemmBt call; only the recurrent U h GEMM runs per step.
+     */
     LstmState forwardSequence(const Tensor &xs, LstmState state) const;
 
     /** Gate parameter blocks (test hooks). */
@@ -64,6 +68,9 @@ class LstmCell
                        int64_t hidden_size);
 
   private:
+    /** One timestep given precomputed W x + b gates [batch, 4h]. */
+    LstmState stepPreGated(Tensor gates, const LstmState &state) const;
+
     int64_t input_;
     int64_t hidden_;
     FullyConnected w_; ///< [4h, input] + bias

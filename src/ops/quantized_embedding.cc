@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
 
 namespace recperf {
 
@@ -60,22 +61,42 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
               "sum(lengths)=%lld != ids.size()=%zu",
               static_cast<long long>(total), ids.size());
 
-    Tensor out({static_cast<int64_t>(lengths.size()), dim_});
-    std::vector<float> row(static_cast<size_t>(dim_));
-    size_t cursor = 0;
-    for (size_t slot = 0; slot < lengths.size(); ++slot) {
-        float *dst = out.data() + static_cast<int64_t>(slot) * dim_;
-        for (int64_t j = 0; j < lengths[slot]; ++j) {
-            dequantizeRow(ids[cursor++], row.data());
-            for (int64_t c = 0; c < dim_; ++c)
-                dst[c] += row[static_cast<size_t>(c)];
-        }
-        if (reduction == SlsReduction::Mean && lengths[slot] > 0) {
-            float inv = 1.0f / static_cast<float>(lengths[slot]);
-            for (int64_t c = 0; c < dim_; ++c)
-                dst[c] *= inv;
-        }
+    // Mirrors EmbeddingTable::forward: prefix offsets decouple the
+    // slots, the pool fans them out, and the dequantize scratch row is
+    // per-chunk so threads never share it.
+    int64_t slots = static_cast<int64_t>(lengths.size());
+    std::vector<int64_t> offsets(static_cast<size_t>(slots) + 1, 0);
+    for (int64_t slot = 0; slot < slots; ++slot) {
+        RP_ASSERT(lengths[static_cast<size_t>(slot)] >= 0,
+                  "negative length at slot %lld",
+                  static_cast<long long>(slot));
+        offsets[static_cast<size_t>(slot) + 1] =
+            offsets[static_cast<size_t>(slot)] +
+            lengths[static_cast<size_t>(slot)];
     }
+
+    Tensor out({slots, dim_});
+    int64_t grain = std::max<int64_t>(
+        1, 4096 / std::max<int64_t>(1, dim_));
+    parallelFor(0, slots, grain, [&](int64_t lo, int64_t hi) {
+        std::vector<float> row(static_cast<size_t>(dim_));
+        for (int64_t slot = lo; slot < hi; ++slot) {
+            size_t cursor =
+                static_cast<size_t>(offsets[static_cast<size_t>(slot)]);
+            int64_t len = lengths[static_cast<size_t>(slot)];
+            float *dst = out.data() + slot * dim_;
+            for (int64_t j = 0; j < len; ++j) {
+                dequantizeRow(ids[cursor++], row.data());
+                for (int64_t c = 0; c < dim_; ++c)
+                    dst[c] += row[static_cast<size_t>(c)];
+            }
+            if (reduction == SlsReduction::Mean && len > 0) {
+                float inv = 1.0f / static_cast<float>(len);
+                for (int64_t c = 0; c < dim_; ++c)
+                    dst[c] *= inv;
+            }
+        }
+    });
     return out;
 }
 

@@ -1,9 +1,11 @@
 #include "ops/sparse_lengths_sum.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "core/thread_pool.hh"
 
 namespace recperf {
 
@@ -33,27 +35,48 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
               "sum(lengths)=%lld != ids.size()=%zu",
               static_cast<long long>(total), ids.size());
 
-    Tensor out({static_cast<int64_t>(lengths.size()), dim_});
-    size_t cursor = 0;
-    for (size_t slot = 0; slot < lengths.size(); ++slot) {
-        RP_ASSERT(lengths[slot] >= 0, "negative length at slot %zu", slot);
-        float *dst = out.data() + static_cast<int64_t>(slot) * dim_;
-        for (int64_t j = 0; j < lengths[slot]; ++j) {
-            int64_t id = ids[cursor++];
-            RP_ASSERT(id >= 0 && id < rows_,
-                      "sparse ID %lld out of table rows %lld",
-                      static_cast<long long>(id),
-                      static_cast<long long>(rows_));
-            const float *src = table_.data() + id * dim_;
-            for (int64_t c = 0; c < dim_; ++c)
-                dst[c] += src[c];
-        }
-        if (reduction == SlsReduction::Mean && lengths[slot] > 0) {
-            float inv = 1.0f / static_cast<float>(lengths[slot]);
-            for (int64_t c = 0; c < dim_; ++c)
-                dst[c] *= inv;
-        }
+    // Prefix offsets make each output slot independent, so the slot
+    // loop fans out across the pool; each slot's gather keeps its
+    // serial accumulation order (bitwise-identical at any thread
+    // count). Length validation happens here, before the fan-out.
+    int64_t slots = static_cast<int64_t>(lengths.size());
+    std::vector<int64_t> offsets(static_cast<size_t>(slots) + 1, 0);
+    for (int64_t slot = 0; slot < slots; ++slot) {
+        RP_ASSERT(lengths[static_cast<size_t>(slot)] >= 0,
+                  "negative length at slot %lld",
+                  static_cast<long long>(slot));
+        offsets[static_cast<size_t>(slot) + 1] =
+            offsets[static_cast<size_t>(slot)] +
+            lengths[static_cast<size_t>(slot)];
     }
+
+    Tensor out({slots, dim_});
+    // Aim for chunks of at least ~4K gathered floats.
+    int64_t grain = std::max<int64_t>(
+        1, 4096 / std::max<int64_t>(1, dim_));
+    parallelFor(0, slots, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t slot = lo; slot < hi; ++slot) {
+            size_t cursor =
+                static_cast<size_t>(offsets[static_cast<size_t>(slot)]);
+            int64_t len = lengths[static_cast<size_t>(slot)];
+            float *dst = out.data() + slot * dim_;
+            for (int64_t j = 0; j < len; ++j) {
+                int64_t id = ids[cursor++];
+                RP_ASSERT(id >= 0 && id < rows_,
+                          "sparse ID %lld out of table rows %lld",
+                          static_cast<long long>(id),
+                          static_cast<long long>(rows_));
+                const float *src = table_.data() + id * dim_;
+                for (int64_t c = 0; c < dim_; ++c)
+                    dst[c] += src[c];
+            }
+            if (reduction == SlsReduction::Mean && len > 0) {
+                float inv = 1.0f / static_cast<float>(len);
+                for (int64_t c = 0; c < dim_; ++c)
+                    dst[c] *= inv;
+            }
+        }
+    });
     return out;
 }
 

@@ -11,7 +11,12 @@
  *   shard     sharded inference under injected faults with
  *             timeout/retry and hedged requests
  *   trace     report the unique-ID fraction of a trace profile
+ *   eval      execute the real tensor model (thread-pool hot path)
+ *             and report measured throughput
  *   zoo       list the model zoo and machine fleet
+ *
+ * The global --threads flag (or RECPERF_THREADS) sizes the worker
+ * pool used by every tensor kernel.
  *
  * Examples:
  *   recperf time --model rmc2 --machine skylake --batch 64
@@ -21,14 +26,19 @@
  *                 --straggler-prob 0.05
  *   recperf shard --model rmc2 --nodes 8 --hedge --mtbf-ms 50
  *   recperf trace --zipf 1.05 --repeat 0.65
+ *   recperf eval --model rmc2 --batch 64 --threads 8
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/args.hh"
 #include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/thread_pool.hh"
+#include "model/rec_model.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
 #include "resilience/fault_injector.hh"
@@ -261,6 +271,43 @@ cmdShard(ArgParser &args)
 }
 
 int
+cmdEval(ArgParser &args)
+{
+    // Unlike `time` (the calibrated timing model), this executes the
+    // real tensor graph on the thread pool and reports wall-clock
+    // throughput — the honest hot path the execution engine serves.
+    ModelConfig cfg =
+        modelByName(args.option("model"))
+            .functionalScale(args.optionInt("rows-cap"));
+    int64_t batch = args.optionInt("batch");
+    int iters = static_cast<int>(args.optionInt("iters"));
+    Rng rng(static_cast<uint64_t>(args.optionInt("seed")));
+    RecModel model(cfg, rng);
+    ModelInput input = model.randomInput(batch, rng);
+
+    for (int i = 0; i < 2; ++i)
+        (void)model.forward(input); // warm-up
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        (void)model.forward(input);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count() /
+        static_cast<double>(iters);
+
+    std::printf("eval %s (rows capped at %lld), batch %lld, "
+                "%d threads:\n",
+                cfg.name.c_str(),
+                static_cast<long long>(args.optionInt("rows-cap")),
+                static_cast<long long>(batch), globalThreadCount());
+    std::printf("  latency:    %10.3f ms / batch (measured)\n",
+                secs * 1e3);
+    std::printf("  throughput: %10.0f items/s\n",
+                static_cast<double>(batch) / secs);
+    return 0;
+}
+
+int
 cmdTrace(ArgParser &args)
 {
     TraceProfile profile{"cli", args.optionDouble("zipf"),
@@ -330,6 +377,11 @@ main(int argc, char **argv)
     args.addOption("repeat", "0.5", "trace re-reference probability");
     args.addOption("rows", "2000000", "embedding rows (trace)");
     args.addOption("seed", "42", "random seed");
+    args.addOption("threads", "0",
+                   "tensor-op worker threads (0 = RECPERF_THREADS or "
+                   "hardware)");
+    args.addOption("rows-cap", "4096",
+                   "embedding rows cap for eval's functional model");
     args.addOption("nodes", "4", "shard nodes (shard)");
     args.addOption("straggler-prob", "0", "straggler probability");
     args.addOption("straggler-alpha", "1.5", "straggler pareto shape");
@@ -362,9 +414,13 @@ main(int argc, char **argv)
     }
     if (command == "help" || args.flag("help")) {
         std::printf("usage: recperf <time|colocate|serve|shard|trace|"
-                    "zoo> [options]\n\n%s", args.helpText().c_str());
+                    "eval|zoo> [options]\n\n%s",
+                    args.helpText().c_str());
         return 0;
     }
+
+    if (args.optionInt("threads") > 0)
+        setGlobalThreadCount(static_cast<int>(args.optionInt("threads")));
 
     try {
         if (command == "time")
@@ -377,6 +433,8 @@ main(int argc, char **argv)
             return cmdShard(args);
         if (command == "trace")
             return cmdTrace(args);
+        if (command == "eval")
+            return cmdEval(args);
         if (command == "zoo")
             return cmdZoo();
     } catch (const FatalError &e) {
