@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Build and run the thread-scaling microbenchmark, writing the JSON
-# result to BENCH_parallel_ops.json at the repo root so the perf
-# trajectory of the parallel execution engine is tracked in-tree.
+# Build and run the JSON-emitting benchmarks, writing results to the
+# repo root so the perf trajectory is tracked in-tree:
+#
+#  - BENCH_parallel_ops.json: thread-scaling of the parallel engine
+#  - BENCH_failover.json: availability + p99 vs replica count under
+#    injected shard failures (MTBF = 10x MTTR)
 #
 # Usage: scripts/run_bench.sh [--threads 1,2,4,8] [--min-time 0.25]
+# Extra arguments are forwarded to micro_parallel_ops only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build
-cmake --build build --target micro_parallel_ops
+cmake --build build --target micro_parallel_ops study_failover
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
+
+./build/bench/study_failover --out BENCH_failover.json
+echo "wrote $(pwd)/BENCH_failover.json"

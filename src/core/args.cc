@@ -96,6 +96,15 @@ ArgParser::option(const std::string &name) const
     return it->second.value;
 }
 
+bool
+ArgParser::explicitlySet(const std::string &name) const
+{
+    auto it = options_.find(name);
+    RP_ASSERT(it != options_.end(), "unknown argument --%s",
+              name.c_str());
+    return it->second.set;
+}
+
 int64_t
 ArgParser::optionInt(const std::string &name) const
 {

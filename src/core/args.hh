@@ -37,6 +37,10 @@ class ArgParser
 
     bool flag(const std::string &name) const;
     const std::string &option(const std::string &name) const;
+
+    /** Whether the user supplied @p name (vs. the default applying).
+     *  Lets validation reject combinations only when asked for. */
+    bool explicitlySet(const std::string &name) const;
     int64_t optionInt(const std::string &name) const;
     double optionDouble(const std::string &name) const;
     const std::vector<std::string> &positional() const { return pos_; }

@@ -1,0 +1,107 @@
+#include "resilience/circuit_breaker.hh"
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+std::string
+BreakerOptions::validate() const
+{
+    if (errorThreshold < 1)
+        return strprintf("breaker error threshold must be >= 1 (got %d)",
+                         errorThreshold);
+    if (openSeconds < 0.0)
+        return strprintf("breaker cooldown cannot be negative (got %g s)",
+                         openSeconds);
+    if (probeAdmitProb <= 0.0 || probeAdmitProb > 1.0)
+        return strprintf("breaker probe probability %g out of (0,1] "
+                         "(0 would never re-close)", probeAdmitProb);
+    if (closeAfterProbes < 1)
+        return strprintf("breaker close-after-probes must be >= 1 "
+                         "(got %d)", closeAfterProbes);
+    return "";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions &options, uint64_t salt)
+    : options_(options),
+      probe_rng_(options.seed ^ (0xb8ea5e1ecbULL * (salt + 1)))
+{
+    std::string err = options_.validate();
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+}
+
+void
+CircuitBreaker::trip(double now)
+{
+    state_ = BreakerState::Open;
+    open_until_ = now + options_.openSeconds;
+    consecutive_errors_ = 0;
+    probe_successes_ = 0;
+    ++times_opened_;
+}
+
+bool
+CircuitBreaker::allowRequest(double now)
+{
+    if (state_ == BreakerState::Open) {
+        if (now < open_until_) {
+            ++rejections_;
+            return false;
+        }
+        state_ = BreakerState::HalfOpen;
+        probe_successes_ = 0;
+    }
+    if (state_ == BreakerState::HalfOpen) {
+        if (!probe_rng_.nextBool(options_.probeAdmitProb)) {
+            ++rejections_;
+            return false;
+        }
+        ++probes_admitted_;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess(double now)
+{
+    (void)now;
+    if (state_ == BreakerState::HalfOpen) {
+        if (++probe_successes_ >= options_.closeAfterProbes) {
+            state_ = BreakerState::Closed;
+            consecutive_errors_ = 0;
+            ++times_closed_;
+        }
+        return;
+    }
+    consecutive_errors_ = 0;
+}
+
+void
+CircuitBreaker::onFailure(double now)
+{
+    if (state_ == BreakerState::HalfOpen) {
+        trip(now); // a failed probe restarts the cooldown
+        return;
+    }
+    if (state_ == BreakerState::Closed &&
+        ++consecutive_errors_ >= options_.errorThreshold) {
+        trip(now);
+    }
+}
+
+} // namespace recperf

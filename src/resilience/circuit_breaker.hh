@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-replica circuit breaker (closed -> open -> half-open).
+ *
+ * A replica that keeps refusing or timing out should stop receiving
+ * traffic before it burns the whole retry budget of every inference
+ * that routes to it. The breaker trips open after a streak of
+ * consecutive errors, rejects requests for a cooldown window, then
+ * moves to half-open where a seeded coin admits a fraction of requests
+ * as probes: enough probe successes re-close the breaker, any probe
+ * failure re-opens it (with the cooldown restarted). The probe coin is
+ * the only randomness and draws from a per-breaker seeded Rng, so a
+ * fixed seed yields a bit-identical admission sequence.
+ */
+
+#ifndef RECPERF_RESILIENCE_CIRCUIT_BREAKER_HH
+#define RECPERF_RESILIENCE_CIRCUIT_BREAKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.hh"
+
+namespace recperf {
+
+/** Breaker state machine positions. */
+enum class BreakerState
+{
+    Closed,   ///< normal operation, errors counted
+    Open,     ///< rejecting everything until the cooldown elapses
+    HalfOpen, ///< admitting seeded probes to test recovery
+};
+
+/** Human-readable state name. */
+const char *breakerStateName(BreakerState state);
+
+/** Circuit-breaker knobs (shared by every replica's breaker). */
+struct BreakerOptions
+{
+    /** Consecutive errors that trip the breaker open. */
+    int errorThreshold = 3;
+
+    /** Cooldown before an open breaker turns half-open. */
+    double openSeconds = 0.5e-3;
+
+    /** Probability a half-open request is admitted as a probe. */
+    double probeAdmitProb = 0.7;
+
+    /** Consecutive probe successes that re-close the breaker. */
+    int closeAfterProbes = 2;
+
+    /** Seed of the probe-admission coin. */
+    uint64_t seed = 2020;
+
+    /** Empty when the options are sane, else a description. */
+    std::string validate() const;
+};
+
+/** One replica's trip/cooldown/probe state machine. */
+class CircuitBreaker
+{
+  public:
+    /** @param salt mixed into the seed so replicas draw independent
+     *         probe-admission streams. */
+    CircuitBreaker(const BreakerOptions &options, uint64_t salt);
+
+    /**
+     * Whether a request may be sent at @p now. Advances open ->
+     * half-open when the cooldown has elapsed; in half-open, flips the
+     * seeded probe coin (a rejection leaves the state unchanged).
+     */
+    bool allowRequest(double now);
+
+    /** Fold the outcome of an admitted request. */
+    void onSuccess(double now);
+    void onFailure(double now);
+
+    BreakerState state() const { return state_; }
+
+    /** Closed -> open (or half-open -> open) transitions so far. */
+    uint64_t timesOpened() const { return times_opened_; }
+
+    /** Half-open -> closed transitions so far. */
+    uint64_t timesClosed() const { return times_closed_; }
+
+    /** Requests admitted while half-open. */
+    uint64_t probesAdmitted() const { return probes_admitted_; }
+
+    /** Requests rejected while open or half-open. */
+    uint64_t rejections() const { return rejections_; }
+
+  private:
+    void trip(double now);
+
+    BreakerOptions options_;
+    Rng probe_rng_;
+    BreakerState state_ = BreakerState::Closed;
+    double open_until_ = 0.0;
+    int consecutive_errors_ = 0;
+    int probe_successes_ = 0;
+    uint64_t times_opened_ = 0;
+    uint64_t times_closed_ = 0;
+    uint64_t probes_admitted_ = 0;
+    uint64_t rejections_ = 0;
+};
+
+} // namespace recperf
+
+#endif // RECPERF_RESILIENCE_CIRCUIT_BREAKER_HH

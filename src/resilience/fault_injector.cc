@@ -6,22 +6,47 @@
 
 namespace recperf {
 
+std::string
+FaultOptions::validate() const
+{
+    if (stragglerProb < 0.0 || stragglerProb > 1.0)
+        return strprintf("straggler probability %g out of [0,1]",
+                         stragglerProb);
+    if (stragglerProb > 0.0 && stragglerAlpha <= 1.0)
+        return strprintf("straggler pareto shape must exceed 1 for a "
+                         "finite mean (got %g)", stragglerAlpha);
+    if (stragglerProb > 0.0 && stragglerMin < 1.0)
+        return strprintf("a straggler cannot be faster than the base "
+                         "service (min slowdown %g < 1)", stragglerMin);
+    if (shardMtbfSeconds < 0.0)
+        return strprintf("MTBF cannot be negative (got %g s)",
+                         shardMtbfSeconds);
+    if (shardMttrSeconds < 0.0)
+        return strprintf("MTTR cannot be negative (got %g s)",
+                         shardMttrSeconds);
+    if (spikeRatePerSec < 0.0)
+        return strprintf("load-spike rate cannot be negative (got %g/s)",
+                         spikeRatePerSec);
+    if (spikeRatePerSec > 0.0 && spikeDurationSeconds < 0.0)
+        return strprintf("load-spike duration cannot be negative "
+                         "(got %g s)", spikeDurationSeconds);
+    if (spikeRatePerSec > 0.0 && spikeFactor < 1.0)
+        return strprintf("spikes only slow things down (factor %g < 1)",
+                         spikeFactor);
+    return "";
+}
+
 FaultInjector::FaultInjector(const FaultOptions &options,
                              uint32_t num_shards)
     : options_(options), straggler_rng_(options.seed ^ 0x51a6617ab1ULL),
       spike_rng_(options.seed ^ 0x9c0ffee000ULL)
 {
-    RP_ASSERT(options_.stragglerProb >= 0.0 &&
-                  options_.stragglerProb <= 1.0,
-              "straggler probability %f out of [0,1]",
-              options_.stragglerProb);
+    std::string err = options_.validate();
+    RP_ASSERT(err.empty(), "%s", err.c_str());
     RP_ASSERT(options_.stragglerAlpha > 1.0,
               "pareto shape must exceed 1 for a finite mean");
     RP_ASSERT(options_.stragglerMin >= 1.0,
               "a straggler cannot be faster than the base service");
-    RP_ASSERT(options_.shardMtbfSeconds >= 0.0 &&
-                  options_.shardMttrSeconds >= 0.0,
-              "MTBF/MTTR must be non-negative");
     RP_ASSERT(options_.spikeFactor >= 1.0, "spikes only slow things down");
 
     Rng master(options.seed ^ 0x4e51713ab3ULL);

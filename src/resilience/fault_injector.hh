@@ -28,6 +28,7 @@
 #define RECPERF_RESILIENCE_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/rng.hh"
@@ -70,6 +71,10 @@ struct FaultOptions
         return stragglerProb > 0.0 || shardMtbfSeconds > 0.0 ||
             spikeRatePerSec > 0.0;
     }
+
+    /** Empty when the options are sane, else a description (used by
+     *  the CLI to reject bad values before constructing anything). */
+    std::string validate() const;
 };
 
 /**

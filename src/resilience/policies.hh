@@ -27,6 +27,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 
 namespace recperf {
 
@@ -92,6 +93,23 @@ struct DegradeOptions
      *  served) while degraded. */
     double lowPriorityFraction = 0.0;
 };
+
+/**
+ * CLI-grade validation: each returns an empty string when the policy
+ * is sane and a human-readable description of the first problem
+ * otherwise, so tools can reject nonsensical configurations with a
+ * clear error instead of tripping an assertion mid-run.
+ */
+std::string validateRetryPolicy(const RetryPolicy &retry);
+
+/** Cross-checks the hedge against the retry timeout (a hedge delay at
+ *  or beyond the timeout would never fire). */
+std::string validateHedgePolicy(const HedgePolicy &hedge,
+                                const RetryPolicy &retry);
+
+std::string validateAdmissionOptions(const AdmissionOptions &admission);
+
+std::string validateDegradeOptions(const DegradeOptions &degrade);
 
 } // namespace recperf
 

@@ -210,6 +210,139 @@ ShardedInference::resolveShard(FaultInjector &injector,
     return {waited, false};
 }
 
+ShardedInference::ShardOutcome
+ShardedInference::resolveReplicated(FaultInjector &injector,
+                                    ReplicaSet &set,
+                                    const RetryPolicy &retry,
+                                    const HedgePolicy &hedge,
+                                    double hedge_delay, uint32_t shard,
+                                    double base_seconds, double now,
+                                    const ChaosSchedule *chaos,
+                                    ReplicatedShardedResult *result)
+{
+    // Replica r of shard s runs failure process s*R + r; scripted chaos
+    // windows override the renewal process. Every query also tells the
+    // ReplicaSet what it saw, so down -> up edges start the warm-up.
+    auto replica_up = [&](uint32_t replica, double t) {
+        bool up = injector.shardUp(shard * set.size() + replica, t);
+        if (up && chaos && chaos->forcedDown(shard, replica, t))
+            up = false;
+        return set.observeUp(replica, up, t);
+    };
+    auto multiplier = [&](double t) {
+        double m = injector.serviceMultiplier(t);
+        return chaos ? m * chaos->serviceFactor(t) : m;
+    };
+
+    double waited = 0.0;
+    int prev_error_replica = -1;
+    int max_attempts = retry.maxRetries + 1;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        double t_start = now + waited;
+        ReplicaSet::Pick pick = set.route(t_start);
+        if (pick.replica < 0) {
+            // Every breaker rejected: nothing to send to. Pay the
+            // detection latency and let the backoff ride until a
+            // breaker half-opens.
+            ++result->breakerRejects;
+            result->wastedSeconds += retry.failFastSeconds;
+            waited += retry.failFastSeconds;
+        } else {
+            auto primary = static_cast<uint32_t>(pick.replica);
+            if (!replica_up(primary, t_start)) {
+                ++result->shardDownEncounters;
+                set.recordError(primary, t_start);
+                prev_error_replica = pick.replica;
+                // A down primary is rescued by hedging to the router's
+                // second-best replica — if one is admitted and alive.
+                if (hedge.enabled && pick.alternate >= 0) {
+                    auto alt = static_cast<uint32_t>(pick.alternate);
+                    double t_hedge = t_start + hedge_delay;
+                    if (replica_up(alt, t_hedge)) {
+                        double warm = set.warmupMultiplier(alt, t_hedge);
+                        double hedged =
+                            base_seconds * multiplier(t_hedge) * warm;
+                        ++result->hedgesIssued;
+                        ++result->hedgeWins;
+                        ++result->failovers;
+                        result->hedgeExtraSeconds += hedged;
+                        result->hedgeExtraBytes +=
+                            shardNetworkBytes(shard);
+                        result->warmupPenaltySeconds +=
+                            hedged - hedged / warm;
+                        set.recordSuccess(alt, hedged, t_hedge);
+                        return {waited + hedge_delay + hedged, true};
+                    }
+                    ++result->shardDownEncounters;
+                    set.recordError(alt, t_hedge);
+                }
+                result->wastedSeconds += retry.failFastSeconds;
+                waited += retry.failFastSeconds;
+            } else {
+                double warm = set.warmupMultiplier(primary, t_start);
+                double service =
+                    base_seconds * multiplier(t_start) * warm;
+                double primary_service = service;
+                uint32_t winner = primary;
+                if (hedge.enabled && service > hedge_delay &&
+                    pick.alternate >= 0) {
+                    auto alt = static_cast<uint32_t>(pick.alternate);
+                    double t_hedge = t_start + hedge_delay;
+                    if (replica_up(alt, t_hedge)) {
+                        double warm_alt =
+                            set.warmupMultiplier(alt, t_hedge);
+                        double alt_service =
+                            base_seconds * multiplier(t_hedge) * warm_alt;
+                        double hedged = hedge_delay + alt_service;
+                        ++result->hedgesIssued;
+                        result->hedgeExtraSeconds += alt_service;
+                        result->hedgeExtraBytes +=
+                            shardNetworkBytes(shard);
+                        set.recordSuccess(alt, alt_service, t_hedge);
+                        if (hedged < service) {
+                            ++result->hedgeWins;
+                            result->warmupPenaltySeconds +=
+                                alt_service - alt_service / warm_alt;
+                            winner = alt;
+                            service = hedged;
+                        }
+                    } else {
+                        ++result->shardDownEncounters;
+                        set.recordError(alt, t_hedge);
+                    }
+                }
+                if (retry.timeoutSeconds > 0.0 &&
+                    service > retry.timeoutSeconds) {
+                    ++result->timeouts;
+                    set.recordError(primary,
+                                    t_start + retry.timeoutSeconds);
+                    prev_error_replica = static_cast<int>(primary);
+                    result->wastedSeconds += retry.timeoutSeconds;
+                    waited += retry.timeoutSeconds;
+                } else {
+                    // The primary did answer (even when the hedge beat
+                    // it), so its EWMA learns its own latency.
+                    set.recordSuccess(primary, primary_service, t_start);
+                    if (winner == primary) {
+                        result->warmupPenaltySeconds +=
+                            primary_service - primary_service / warm;
+                    }
+                    if (prev_error_replica >= 0 &&
+                        winner !=
+                            static_cast<uint32_t>(prev_error_replica))
+                        ++result->failovers;
+                    return {waited + service, true};
+                }
+            }
+        }
+        if (attempt + 1 < max_attempts) {
+            ++result->retries;
+            waited += retry.backoffBefore(attempt);
+        }
+    }
+    return {waited, false};
+}
+
 ResilientShardedResult
 ShardedInference::runResilient(int warmup_iters, int measure_iters,
                                const FaultOptions &faults,
@@ -270,6 +403,105 @@ ShardedInference::runResilient(int warmup_iters, int measure_iters,
         }
     }
     result.duration = now;
+    return result;
+}
+
+ReplicatedShardedResult
+ShardedInference::runReplicated(int warmup_iters, int measure_iters,
+                                const FaultOptions &faults,
+                                const RetryPolicy &retry,
+                                const HedgePolicy &hedge,
+                                const ReplicaOptions &replicas,
+                                const ChaosSchedule *chaos)
+{
+    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
+    std::string err = replicas.validate();
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+    err = validateRetryPolicy(retry);
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+    err = validateHedgePolicy(hedge, retry);
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+    err = faults.validate();
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+
+    FaultInjector injector(faults, numNodes() * replicas.replicas);
+    ReplicatedShardedResult result;
+
+    // Warmup doubles as calibration of the auto hedge delay (p95 of
+    // clean shard service times) and of the post-recovery warm-up
+    // factor: the very first run of each shard timer touches cold
+    // simulated caches, so cold-iteration / steady-state SLS time *is*
+    // the embedding-cache refill cost a revived replica pays.
+    std::vector<double> cold;
+    std::vector<double> calib;
+    int warmup = std::max(warmup_iters, 2);
+    for (int i = 0; i < warmup; ++i) {
+        for (auto &timer : shard_timers_) {
+            double s = timer->run().secondsByKind(OpKind::SLS);
+            (i == 0 ? cold : calib).push_back(s);
+        }
+        agg_timer_->run();
+    }
+    double hedge_delay = hedge.delaySeconds > 0.0 ? hedge.delaySeconds
+                                                  : percentile(calib, 95.0);
+
+    double warm_factor = replicas.warmupFactor;
+    if (warm_factor <= 0.0) {
+        double cold_mean = 0.0;
+        for (double s : cold)
+            cold_mean += s;
+        cold_mean /= static_cast<double>(cold.size());
+        double steady = percentile(calib, 50.0);
+        warm_factor = steady > 0.0
+            ? std::clamp(cold_mean / steady, 1.0, 100.0) : 1.0;
+    }
+    result.warmupFactorUsed = warm_factor;
+
+    std::vector<ReplicaSet> sets;
+    sets.reserve(numNodes());
+    for (uint32_t s = 0; s < numNodes(); ++s)
+        sets.emplace_back(s, replicas, warm_factor);
+
+    double now = 0.0;
+    for (int i = 0; i < measure_iters; ++i) {
+        double slowest = 0.0;
+        double elapsed_max = 0.0;
+        bool ok = true;
+        for (uint32_t s = 0; s < numNodes(); ++s) {
+            double base =
+                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
+            ShardOutcome out = resolveReplicated(
+                injector, sets[s], retry, hedge, hedge_delay, s, base,
+                now, chaos, &result);
+            elapsed_max = std::max(elapsed_max, out.elapsed);
+            if (out.ok)
+                slowest = std::max(slowest, out.elapsed);
+            else
+                ok = false;
+        }
+        ModelTiming agg = agg_timer_->run();
+        double agg_seconds =
+            agg.totalSeconds() - agg.secondsByKind(OpKind::SLS);
+        double network = networkSeconds(nullptr);
+
+        if (ok) {
+            double total = slowest + network + agg_seconds;
+            result.latency.add(total);
+            ++result.completed;
+            now += total;
+        } else {
+            ++result.failed;
+            result.wastedSeconds += agg_seconds;
+            now += elapsed_max + network;
+        }
+    }
+    result.duration = now;
+
+    for (const ReplicaSet &set : sets) {
+        result.breakerOpens += set.breakerOpens();
+        result.breakerCloses += set.breakerCloses();
+        result.probesAdmitted += set.probesAdmitted();
+    }
     return result;
 }
 

@@ -21,6 +21,7 @@
 #include "core/stats.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
+#include "resilience/replica_set.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -94,6 +95,36 @@ struct ResilientShardedResult
 };
 
 /**
+ * Outcome of a replicated run: the resilient accounting plus the
+ * failover/breaker/warm-up bookkeeping of the replica layer.
+ */
+struct ReplicatedShardedResult : ResilientShardedResult
+{
+    /** Requests completed by a replica other than the routed primary
+     *  (down-rescue hedges and post-error re-routes). */
+    uint64_t failovers = 0;
+
+    /** Attempts for which every replica's breaker rejected the
+     *  request. */
+    uint64_t breakerRejects = 0;
+
+    /** Breaker trips (closed/half-open -> open) across all replicas. */
+    uint64_t breakerOpens = 0;
+
+    /** Breaker recoveries (half-open -> closed) across all replicas. */
+    uint64_t breakerCloses = 0;
+
+    /** Requests admitted as half-open probes. */
+    uint64_t probesAdmitted = 0;
+
+    /** Extra service seconds paid to post-recovery cold replicas. */
+    double warmupPenaltySeconds = 0.0;
+
+    /** Resolved post-recovery multiplier (auto: cold/steady ratio). */
+    double warmupFactorUsed = 1.0;
+};
+
+/**
  * Times table-wise sharded inference of one model over N nodes of the
  * same machine type.
  */
@@ -134,6 +165,36 @@ class ShardedInference
                                         const RetryPolicy &retry,
                                         const HedgePolicy &hedge);
 
+    /**
+     * Closed-loop run with R replicas per shard and failure-aware
+     * routing (the tolerance layer over runResilient's mitigations).
+     *
+     * Each shard's R replicas run independent failure processes from
+     * FaultOptions (process r of shard s is seeded stream s*R + r).
+     * Per attempt a ReplicaSet routes by ReplicaOptions::router among
+     * replicas whose circuit breaker admits the request; hedges (and
+     * rescues of a down primary) go to the router's second-best
+     * replica rather than a blind duplicate. Errors and timeouts feed
+     * each replica's HealthTracker and CircuitBreaker, so a dead
+     * replica is failed over after `breaker.errorThreshold` strikes
+     * and probed back in once it recovers — paying a cold-cache
+     * warm-up penalty derived from the shard's own timing model.
+     *
+     * @param chaos optional scripted fault windows layered on top of
+     *        the renewal failure processes (kills, rack failures,
+     *        straggler storms).
+     *
+     * Fully deterministic for fixed FaultOptions/ReplicaOptions seeds.
+     */
+    ReplicatedShardedResult runReplicated(int warmup_iters,
+                                          int measure_iters,
+                                          const FaultOptions &faults,
+                                          const RetryPolicy &retry,
+                                          const HedgePolicy &hedge,
+                                          const ReplicaOptions &replicas,
+                                          const ChaosSchedule *chaos =
+                                              nullptr);
+
     uint32_t numNodes() const;
 
   private:
@@ -149,6 +210,15 @@ class ShardedInference
                               double hedge_delay, uint32_t shard,
                               double base_seconds, double now,
                               ResilientShardedResult *result);
+
+    ShardOutcome resolveReplicated(FaultInjector &injector,
+                                   ReplicaSet &set,
+                                   const RetryPolicy &retry,
+                                   const HedgePolicy &hedge,
+                                   double hedge_delay, uint32_t shard,
+                                   double base_seconds, double now,
+                                   const ChaosSchedule *chaos,
+                                   ReplicatedShardedResult *result);
 
     /** Pooled-vector bytes one shard ships per inference. */
     double shardNetworkBytes(uint32_t shard) const;

@@ -60,6 +60,11 @@ Server::Server(const MachineSpec &machine, const ModelConfig &config,
         RP_ASSERT(options_.degrade.degradedMaxBatch >= 1,
                   "degraded batch cap must be positive");
     }
+    RP_ASSERT(options_.clusterReplicas >= 1,
+              "the serving tier needs at least one replica");
+    RP_ASSERT(options_.healthyReplicas <= options_.clusterReplicas,
+              "healthy replicas (%u) cannot exceed the cluster's %u",
+              options_.healthyReplicas, options_.clusterReplicas);
     if (options_.faults.anyFaults())
         injector_ = std::make_unique<FaultInjector>(options_.faults, 0);
 
@@ -102,6 +107,15 @@ uint32_t
 Server::numWorkers() const
 {
     return static_cast<uint32_t>(workers_.size());
+}
+
+double
+Server::healthyFraction() const
+{
+    uint32_t healthy = options_.healthyReplicas == 0
+        ? options_.clusterReplicas : options_.healthyReplicas;
+    return static_cast<double>(healthy) /
+        static_cast<double>(options_.clusterReplicas);
 }
 
 double
@@ -153,9 +167,14 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
 
     // Wait budget of the admission controller: an item whose queueing
     // delay already exceeds this fraction of the SLA is shed, leaving
-    // the remainder of the SLA for service time.
+    // the remainder of the SLA for service time. With dead replicas in
+    // the tier, the survivors carry their traffic, so both overload
+    // responses arm earlier by the healthy fraction.
+    double healthy = healthyFraction();
     double wait_budget = options_.slaSeconds *
-        options_.admission.maxWaitFraction;
+        options_.admission.maxWaitFraction * healthy;
+    double degrade_backlog = options_.degrade.backlogFactor * healthy *
+        static_cast<double>(options_.maxBatch);
 
     ServingStats stats;
     size_t next = 0;
@@ -175,9 +194,7 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         size_t backlog = backlog_end - next;
 
         bool degraded = options_.degrade.enabled &&
-            static_cast<double>(backlog) >
-                options_.degrade.backlogFactor *
-                    static_cast<double>(options_.maxBatch);
+            static_cast<double>(backlog) > degrade_backlog;
         int64_t batch_cap = degraded
             ? std::min(options_.degrade.degradedMaxBatch,
                        options_.maxBatch)

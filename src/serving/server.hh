@@ -51,6 +51,18 @@ struct ServerOptions
     /** Degraded-service response to deep backlogs. */
     DegradeOptions degrade;
 
+    /**
+     * Replicas backing this serving tier in the cluster view. When
+     * some are unhealthy, the survivors absorb the dead replicas'
+     * traffic, so the overload responses arm earlier: the degraded-
+     * mode backlog threshold and the admission wait budget both scale
+     * by healthy/total.
+     */
+    uint32_t clusterReplicas = 1;
+
+    /** Currently healthy replicas; 0 means all of clusterReplicas. */
+    uint32_t healthyReplicas = 0;
+
     /** Service-time fault injection (stragglers, load spikes). */
     FaultOptions faults;
 };
@@ -135,6 +147,9 @@ class Server
   private:
     double serviceBatch(size_t worker, int64_t batch, double now,
                         double *fc_seconds);
+
+    /** healthy/total replica fraction in (0, 1]; 1 when fully healthy. */
+    double healthyFraction() const;
 
     MachineSpec machine_;
     ServerOptions options_;

@@ -110,6 +110,20 @@ TEST(ArgParser, DuplicateRegistrationPanics)
     EXPECT_THROW(p.addFlag("batch", "dup"), PanicError);
 }
 
+TEST(ArgParser, ExplicitlySetDistinguishesDefaults)
+{
+    // CLI validation uses this to reject bad combinations only when
+    // the user actually asked for them (e.g. --retries with a zero
+    // timeout), not when a default merely applies.
+    ArgParser p = makeParser();
+    std::string err;
+    ASSERT_TRUE(p.parse({"--batch", "16", "--verbose"}, &err)) << err;
+    EXPECT_TRUE(p.explicitlySet("batch")); // even at the default value
+    EXPECT_TRUE(p.explicitlySet("verbose"));
+    EXPECT_FALSE(p.explicitlySet("rate"));
+    EXPECT_THROW(p.explicitlySet("nope"), PanicError);
+}
+
 TEST(ArgParser, HelpTextMentionsEverything)
 {
     ArgParser p = makeParser();

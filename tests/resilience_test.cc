@@ -12,6 +12,7 @@
 #include "model/zoo.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
+#include "resilience/replica_set.hh"
 #include "serving/distributed.hh"
 #include "serving/server.hh"
 
@@ -335,6 +336,266 @@ TEST(Degrade, OffByDefault)
     EXPECT_EQ(stats.degradedBatches, 0u);
     EXPECT_EQ(stats.droppedLowPriority, 0u);
     EXPECT_EQ(stats.shedItems, 0u);
+}
+
+TEST(Health, EwmaTracksLatencyAndErrorStreaks)
+{
+    HealthTracker h;
+    EXPECT_DOUBLE_EQ(h.ewmaSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(h.score(5.0), 5.0); // no history: fallback
+
+    h.recordSuccess(1e-3, 0.0);
+    EXPECT_DOUBLE_EQ(h.ewmaSeconds(), 1e-3); // first sample seeds EWMA
+    h.recordSuccess(2e-3, 1.0);
+    // alpha 0.2: 0.2 * 2ms + 0.8 * 1ms
+    EXPECT_NEAR(h.ewmaSeconds(), 1.2e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(h.score(5.0), h.ewmaSeconds());
+
+    h.recordError(2.0);
+    h.recordError(3.0);
+    EXPECT_EQ(h.consecutiveErrors(), 2);
+    EXPECT_EQ(h.errors(), 2u);
+    h.recordSuccess(1e-3, 4.0);
+    EXPECT_EQ(h.consecutiveErrors(), 0); // success resets the streak
+    EXPECT_EQ(h.successes(), 3u);
+    EXPECT_DOUBLE_EQ(h.lastEventTime(), 4.0);
+}
+
+TEST(Breaker, TripsCoolsAndRecloses)
+{
+    BreakerOptions o;
+    o.errorThreshold = 2;
+    o.openSeconds = 1.0;
+    o.probeAdmitProb = 1.0; // every half-open request is a probe
+    o.closeAfterProbes = 2;
+    CircuitBreaker b(o, /*salt=*/0);
+
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    EXPECT_TRUE(b.allowRequest(0.0));
+    b.onFailure(0.0);
+    EXPECT_EQ(b.state(), BreakerState::Closed); // one error: not yet
+    b.onFailure(0.1);
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.timesOpened(), 1u);
+
+    EXPECT_FALSE(b.allowRequest(0.5)); // cooldown running
+    EXPECT_GT(b.rejections(), 0u);
+    EXPECT_TRUE(b.allowRequest(1.2)); // cooldown over: probe admitted
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+    b.onSuccess(1.2);
+    EXPECT_EQ(b.state(), BreakerState::HalfOpen); // one probe of two
+    EXPECT_TRUE(b.allowRequest(1.3));
+    b.onSuccess(1.3);
+    EXPECT_EQ(b.state(), BreakerState::Closed);
+    EXPECT_EQ(b.timesClosed(), 1u);
+    EXPECT_EQ(b.probesAdmitted(), 2u);
+}
+
+TEST(Breaker, FailedProbeReopens)
+{
+    BreakerOptions o;
+    o.errorThreshold = 1;
+    o.openSeconds = 1.0;
+    o.probeAdmitProb = 1.0;
+    CircuitBreaker b(o, 0);
+    b.onFailure(0.0);
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_TRUE(b.allowRequest(1.5));
+    b.onFailure(1.5); // probe fails: back to open, cooldown restarted
+    EXPECT_EQ(b.state(), BreakerState::Open);
+    EXPECT_EQ(b.timesOpened(), 2u);
+    EXPECT_FALSE(b.allowRequest(2.0));
+    EXPECT_TRUE(b.allowRequest(2.6));
+}
+
+TEST(Breaker, ProbeCoinIsSeeded)
+{
+    BreakerOptions o;
+    o.errorThreshold = 1;
+    o.openSeconds = 0.1;
+    o.probeAdmitProb = 0.5;
+    auto admissions = [&o](uint64_t salt) {
+        CircuitBreaker b(o, salt);
+        b.onFailure(0.0);
+        std::vector<bool> seq;
+        for (int i = 0; i < 32; ++i) {
+            bool admitted = b.allowRequest(0.2 + 0.01 * i);
+            seq.push_back(admitted);
+            if (admitted)
+                b.onFailure(0.2 + 0.01 * i); // stay half-open/open
+        }
+        return seq;
+    };
+    EXPECT_EQ(admissions(3), admissions(3)); // same salt: same stream
+    EXPECT_NE(admissions(3), admissions(4)); // salts decorrelate
+}
+
+TEST(Breaker, OptionValidation)
+{
+    BreakerOptions o;
+    EXPECT_TRUE(o.validate().empty());
+    o.errorThreshold = 0;
+    EXPECT_FALSE(o.validate().empty());
+    o = {};
+    o.probeAdmitProb = 1.5;
+    EXPECT_FALSE(o.validate().empty());
+    o = {};
+    o.openSeconds = -1.0;
+    EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(Router, PolicyNamesRoundTrip)
+{
+    RouterPolicy p;
+    EXPECT_TRUE(routerPolicyFromName("primary-first", &p));
+    EXPECT_EQ(p, RouterPolicy::PrimaryFirst);
+    EXPECT_TRUE(routerPolicyFromName("least-loaded", &p));
+    EXPECT_EQ(p, RouterPolicy::LeastLoaded);
+    EXPECT_TRUE(routerPolicyFromName("p2c", &p));
+    EXPECT_EQ(p, RouterPolicy::PowerOfTwo);
+    EXPECT_FALSE(routerPolicyFromName("round-robin", &p));
+}
+
+TEST(Router, PrimaryFirstPrefersLowestAdmittedIndex)
+{
+    ReplicaOptions o;
+    o.replicas = 3;
+    ReplicaSet set(0, o, /*warmup_factor=*/2.0);
+    ReplicaSet::Pick pick = set.route(0.0);
+    EXPECT_EQ(pick.replica, 0);
+    EXPECT_EQ(pick.alternate, 1);
+
+    // Trip the primary's breaker: routing falls over to replica 1.
+    for (int i = 0; i < o.breaker.errorThreshold; ++i)
+        set.recordError(0, 0.0);
+    pick = set.route(0.0);
+    EXPECT_EQ(pick.replica, 1);
+    EXPECT_EQ(pick.alternate, 2);
+}
+
+TEST(Router, LeastLoadedAvoidsTheBusyReplica)
+{
+    ReplicaOptions o;
+    o.replicas = 2;
+    o.router = RouterPolicy::LeastLoaded;
+    ReplicaSet set(0, o, 2.0);
+    // Pile virtual work onto replica 0.
+    for (int i = 0; i < 8; ++i)
+        set.recordSuccess(0, 5e-3, 0.0);
+    ReplicaSet::Pick pick = set.route(0.0);
+    EXPECT_EQ(pick.replica, 1);
+    EXPECT_EQ(pick.alternate, 0);
+}
+
+TEST(Router, PowerOfTwoIsDeterministicAndAlwaysHasAlternate)
+{
+    ReplicaOptions o;
+    o.replicas = 3;
+    o.router = RouterPolicy::PowerOfTwo;
+    o.seed = 99;
+    ReplicaSet a(0, o, 2.0);
+    ReplicaSet b(0, o, 2.0);
+    for (int i = 0; i < 50; ++i) {
+        ReplicaSet::Pick pa = a.route(1e-4 * i);
+        ReplicaSet::Pick pb = b.route(1e-4 * i);
+        EXPECT_EQ(pa.replica, pb.replica);
+        EXPECT_EQ(pa.alternate, pb.alternate);
+        ASSERT_GE(pa.replica, 0);
+        ASSERT_GE(pa.alternate, 0);
+        EXPECT_NE(pa.replica, pa.alternate);
+    }
+}
+
+TEST(Router, WarmupMultiplierDecaysLinearly)
+{
+    ReplicaOptions o;
+    o.replicas = 2;
+    o.warmupSeconds = 1.0;
+    ReplicaSet set(0, o, /*warmup_factor=*/3.0);
+    EXPECT_DOUBLE_EQ(set.warmupMultiplier(0, 0.0), 1.0); // never down
+
+    set.observeUp(0, false, 0.0);
+    set.observeUp(0, true, 1.0); // down -> up edge starts warm-up
+    EXPECT_DOUBLE_EQ(set.warmupMultiplier(0, 1.0), 3.0);
+    EXPECT_NEAR(set.warmupMultiplier(0, 1.5), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(set.warmupMultiplier(0, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(set.warmupMultiplier(0, 5.0), 1.0);
+    // Replica 1 never went down: always warm.
+    EXPECT_DOUBLE_EQ(set.warmupMultiplier(1, 1.5), 1.0);
+}
+
+TEST(ReplicaOptionsValidation, CatchesNonsense)
+{
+    ReplicaOptions o;
+    EXPECT_TRUE(o.validate().empty());
+    o.replicas = 0;
+    EXPECT_FALSE(o.validate().empty());
+    o = {};
+    o.warmupFactor = 0.5; // below 1 and not the 0 auto sentinel
+    EXPECT_FALSE(o.validate().empty());
+    o = {};
+    o.warmupSeconds = -1.0;
+    EXPECT_FALSE(o.validate().empty());
+    o = {};
+    o.breaker.errorThreshold = -2;
+    EXPECT_FALSE(o.validate().empty());
+}
+
+TEST(PolicyValidation, RetryAndHedgeCrossChecks)
+{
+    RetryPolicy retry;
+    EXPECT_TRUE(validateRetryPolicy(retry).empty());
+    retry.timeoutSeconds = -1e-3;
+    EXPECT_FALSE(validateRetryPolicy(retry).empty());
+    retry = {};
+    retry.maxRetries = -1;
+    EXPECT_FALSE(validateRetryPolicy(retry).empty());
+    retry = {};
+    retry.backoffSeconds = -1.0;
+    EXPECT_FALSE(validateRetryPolicy(retry).empty());
+
+    HedgePolicy hedge;
+    hedge.enabled = true;
+    retry = {};
+    retry.timeoutSeconds = 5e-3;
+    hedge.delaySeconds = 1e-3;
+    EXPECT_TRUE(validateHedgePolicy(hedge, retry).empty());
+    hedge.delaySeconds = 5e-3; // at the timeout: can never fire
+    EXPECT_FALSE(validateHedgePolicy(hedge, retry).empty());
+    hedge.delaySeconds = -1e-3;
+    EXPECT_FALSE(validateHedgePolicy(hedge, retry).empty());
+
+    // Disabled policies are not validated; enabling exposes the issue.
+    AdmissionOptions admission;
+    admission.maxWaitFraction = -0.1;
+    EXPECT_TRUE(validateAdmissionOptions(admission).empty());
+    admission.enabled = true;
+    EXPECT_FALSE(validateAdmissionOptions(admission).empty());
+
+    DegradeOptions degrade;
+    degrade.enabled = true;
+    EXPECT_TRUE(validateDegradeOptions(degrade).empty());
+    degrade.lowPriorityFraction = 1.5;
+    EXPECT_FALSE(validateDegradeOptions(degrade).empty());
+    degrade = {};
+    degrade.degradedMaxBatch = 0;
+    degrade.enabled = true;
+    EXPECT_FALSE(validateDegradeOptions(degrade).empty());
+}
+
+TEST(FaultOptionsValidation, CatchesNonsense)
+{
+    FaultOptions f;
+    EXPECT_TRUE(f.validate().empty());
+    f.stragglerProb = 1.5;
+    EXPECT_FALSE(f.validate().empty());
+    f = {};
+    f.shardMtbfSeconds = -1.0;
+    EXPECT_FALSE(f.validate().empty());
+    f = {};
+    f.stragglerProb = 0.5;
+    f.stragglerAlpha = 0.5; // Pareto needs alpha > 1
+    EXPECT_FALSE(f.validate().empty());
 }
 
 TEST(ServerFaults, StragglersStretchServiceTimes)

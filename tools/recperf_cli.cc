@@ -7,9 +7,12 @@
  *   colocate  sweep co-located instances on a socket
  *   serve     open-loop serving simulation with SLA accounting
  *             (optionally with fault injection, admission control,
- *             and degraded-service mode)
+ *             and degraded-service mode; --healthy-replicas models a
+ *             tier that lost replicas and must degrade earlier)
  *   shard     sharded inference under injected faults with
- *             timeout/retry and hedged requests
+ *             timeout/retry and hedged requests; --replicas >= 2 adds
+ *             the failover layer (health-checked replica routing,
+ *             per-replica circuit breakers, recovery warm-up)
  *   trace     report the unique-ID fraction of a trace profile
  *   eval      execute the real tensor model (thread-pool hot path)
  *             and report measured throughput
@@ -25,6 +28,8 @@
  *   recperf serve --rate 80000 --admission --admit-wait 0.5 \
  *                 --straggler-prob 0.05
  *   recperf shard --model rmc2 --nodes 8 --hedge --mtbf-ms 50
+ *   recperf shard --nodes 4 --replicas 2 --router p2c --hedge \
+ *                 --mtbf-ms 10 --mttr-ms 1
  *   recperf trace --zipf 1.05 --repeat 0.65
  *   recperf eval --model rmc2 --batch 64 --threads 8
  */
@@ -162,6 +167,166 @@ faultsFromArgs(ArgParser &args)
     return f;
 }
 
+/** Retry/hedge policies shared by the shard paths. */
+RetryPolicy
+retryFromArgs(ArgParser &args)
+{
+    RetryPolicy retry;
+    retry.timeoutSeconds = args.optionDouble("timeout-ms") / 1e3;
+    retry.maxRetries = static_cast<int>(args.optionInt("retries"));
+    return retry;
+}
+
+HedgePolicy
+hedgeFromArgs(ArgParser &args)
+{
+    HedgePolicy hedge;
+    hedge.enabled = args.flag("hedge");
+    hedge.delaySeconds = args.optionDouble("hedge-ms") / 1e3;
+    return hedge;
+}
+
+ReplicaOptions
+replicasFromArgs(ArgParser &args, std::string *error)
+{
+    ReplicaOptions r;
+    int64_t replicas = args.optionInt("replicas");
+    if (replicas < 1) {
+        *error = strprintf("--replicas must be >= 1 (got %lld)",
+                           static_cast<long long>(replicas));
+        return r;
+    }
+    r.replicas = static_cast<uint32_t>(replicas);
+    if (!routerPolicyFromName(args.option("router"), &r.router)) {
+        *error = strprintf("unknown --router '%s' (try: primary-first, "
+                           "least-loaded, p2c)",
+                           args.option("router").c_str());
+        return r;
+    }
+    r.breaker.errorThreshold =
+        static_cast<int>(args.optionInt("breaker-errors"));
+    r.breaker.openSeconds = args.optionDouble("breaker-open-ms") / 1e3;
+    r.breaker.probeAdmitProb = args.optionDouble("breaker-probe");
+    r.breaker.closeAfterProbes =
+        static_cast<int>(args.optionInt("breaker-close-probes"));
+    r.warmupSeconds = args.optionDouble("warmup-ms") / 1e3;
+    r.warmupFactor = args.optionDouble("warmup-factor");
+    r.seed = static_cast<uint64_t>(args.optionInt("fault-seed"));
+    return r;
+}
+
+/**
+ * Rejects nonsensical serve/shard configurations (negative rates,
+ * impossible retry/hedge combinations, bad replica counts) with a
+ * clear message; the caller exits with code 2.
+ */
+std::string
+validateServingArgs(ArgParser &args, const std::string &command)
+{
+    if (args.optionInt("items") < 1)
+        return strprintf("--items must be >= 1 (got %lld)",
+                         static_cast<long long>(args.optionInt("items")));
+    if (args.optionInt("iters") < 1)
+        return strprintf("--iters must be >= 1 (got %lld)",
+                         static_cast<long long>(args.optionInt("iters")));
+    if (args.optionInt("batch") < 1)
+        return strprintf("--batch must be >= 1 (got %lld)",
+                         static_cast<long long>(args.optionInt("batch")));
+
+    std::string err = faultsFromArgs(args).validate();
+    if (!err.empty())
+        return err;
+    if (args.optionDouble("mtbf-ms") > 0.0 &&
+        args.optionDouble("mttr-ms") <= 0.0) {
+        return strprintf("--mttr-ms must be positive when --mtbf-ms "
+                         "enables shard failures (got %g)",
+                         args.optionDouble("mttr-ms"));
+    }
+
+    if (command == "serve") {
+        if (args.optionDouble("rate") <= 0.0)
+            return strprintf("--rate must be a positive arrival rate "
+                             "(got %g items/s)",
+                             args.optionDouble("rate"));
+        if (args.optionDouble("sla-ms") <= 0.0)
+            return strprintf("--sla-ms must be positive (got %g)",
+                             args.optionDouble("sla-ms"));
+        if (args.optionInt("workers") < 1)
+            return strprintf("--workers must be >= 1 (got %lld)",
+                             static_cast<long long>(
+                                 args.optionInt("workers")));
+        AdmissionOptions admission;
+        admission.enabled = args.flag("admission");
+        admission.maxWaitFraction = args.optionDouble("admit-wait");
+        if (!(err = validateAdmissionOptions(admission)).empty())
+            return err;
+        DegradeOptions degrade;
+        degrade.enabled = args.optionInt("degrade-batch") > 0;
+        degrade.degradedMaxBatch = args.optionInt("degrade-batch");
+        degrade.backlogFactor = args.optionDouble("backlog-factor");
+        degrade.lowPriorityFraction = args.optionDouble("low-priority");
+        if (args.optionInt("degrade-batch") < 0)
+            return strprintf("--degrade-batch cannot be negative "
+                             "(got %lld)",
+                             static_cast<long long>(
+                                 args.optionInt("degrade-batch")));
+        if (!(err = validateDegradeOptions(degrade)).empty())
+            return err;
+        int64_t cluster = args.optionInt("cluster-replicas");
+        int64_t healthy = args.optionInt("healthy-replicas");
+        if (cluster < 1)
+            return strprintf("--cluster-replicas must be >= 1 "
+                             "(got %lld)",
+                             static_cast<long long>(cluster));
+        if (healthy < 0 || healthy > cluster)
+            return strprintf("--healthy-replicas must be in [0, "
+                             "--cluster-replicas=%lld] (got %lld; 0 "
+                             "means all healthy)",
+                             static_cast<long long>(cluster),
+                             static_cast<long long>(healthy));
+    }
+
+    if (command == "shard") {
+        if (args.optionInt("nodes") < 1)
+            return strprintf("--nodes must be >= 1 (got %lld)",
+                             static_cast<long long>(
+                                 args.optionInt("nodes")));
+        RetryPolicy retry = retryFromArgs(args);
+        if (!(err = validateRetryPolicy(retry)).empty())
+            return err;
+        if (!(err = validateHedgePolicy(hedgeFromArgs(args), retry))
+                 .empty())
+            return err;
+        // Retries that could never fire are a configuration mistake,
+        // but only when the user actually asked for them.
+        if (args.explicitlySet("retries") && retry.maxRetries > 0 &&
+            retry.timeoutSeconds <= 0.0 &&
+            args.optionDouble("mtbf-ms") <= 0.0) {
+            return "--retries can never trigger with a zero "
+                   "--timeout-ms and no shard failures (--mtbf-ms 0); "
+                   "set a timeout, enable failures, or use --retries 0";
+        }
+        std::string replica_err;
+        ReplicaOptions replicas = replicasFromArgs(args, &replica_err);
+        if (!replica_err.empty())
+            return replica_err;
+        if (!(err = replicas.validate()).empty())
+            return err;
+        if (args.optionInt("chaos-events") < 0)
+            return strprintf("--chaos-events cannot be negative "
+                             "(got %lld)",
+                             static_cast<long long>(
+                                 args.optionInt("chaos-events")));
+        if (args.optionDouble("chaos-ms") <= 0.0 &&
+            args.optionInt("chaos-events") > 0) {
+            return strprintf("--chaos-ms must be positive when chaos "
+                             "windows are scripted (got %g)",
+                             args.optionDouble("chaos-ms"));
+        }
+    }
+    return "";
+}
+
 int
 cmdServe(ArgParser &args)
 {
@@ -177,6 +342,10 @@ cmdServe(ArgParser &args)
     sopts.degrade.degradedMaxBatch = args.optionInt("degrade-batch");
     sopts.degrade.backlogFactor = args.optionDouble("backlog-factor");
     sopts.degrade.lowPriorityFraction = args.optionDouble("low-priority");
+    sopts.clusterReplicas =
+        static_cast<uint32_t>(args.optionInt("cluster-replicas"));
+    sopts.healthyReplicas =
+        static_cast<uint32_t>(args.optionInt("healthy-replicas"));
     FaultOptions faults = faultsFromArgs(args);
     faults.shardMtbfSeconds = 0.0; // shard failures only apply to shard
     sopts.faults = faults;
@@ -190,6 +359,14 @@ cmdServe(ArgParser &args)
                 "%.1f ms\n", cfg.name.c_str(), machine.name.c_str(),
                 sopts.numWorkers, static_cast<long long>(sopts.maxBatch),
                 sopts.slaSeconds * 1e3);
+    if (sopts.clusterReplicas > 1) {
+        uint32_t healthy = sopts.healthyReplicas == 0
+            ? sopts.clusterReplicas : sopts.healthyReplicas;
+        std::printf("  tier health:   %10u of %u replicas (overload "
+                    "responses arm %.1fx earlier)\n", healthy,
+                    sopts.clusterReplicas,
+                    static_cast<double>(sopts.clusterReplicas) / healthy);
+    }
     std::printf("  offered:       %10.0f items/s\n",
                 args.optionDouble("rate"));
     std::printf("  within SLA:    %10.0f items/s (%.1f%%)\n",
@@ -218,35 +395,10 @@ cmdServe(ArgParser &args)
     return 0;
 }
 
-int
-cmdShard(ArgParser &args)
+void
+printResilientResult(const ResilientShardedResult &r)
 {
-    ModelConfig cfg = modelByName(args.option("model"));
-    MachineSpec machine = machineByName(args.option("machine"));
-    TimerOptions topts;
-    topts.batch = args.optionInt("batch");
-    auto nodes = static_cast<uint32_t>(args.optionInt("nodes"));
-
-    FaultOptions faults = faultsFromArgs(args);
-    RetryPolicy retry;
-    retry.timeoutSeconds = args.optionDouble("timeout-ms") / 1e3;
-    retry.maxRetries = static_cast<int>(args.optionInt("retries"));
-    HedgePolicy hedge;
-    hedge.enabled = args.flag("hedge");
-    hedge.delaySeconds = args.optionDouble("hedge-ms") / 1e3;
-
-    ShardedInference sim(machine, cfg, nodes, NetworkConfig{}, topts);
-    ResilientShardedResult r = sim.runResilient(
-        /*warmup_iters=*/20, static_cast<int>(args.optionInt("iters")),
-        faults, retry, hedge);
-
-    std::printf("sharded %s on %u x %s, batch %lld (straggler p=%.2f, "
-                "MTBF %.0f ms, hedge %s)\n", cfg.name.c_str(), nodes,
-                machine.name.c_str(),
-                static_cast<long long>(topts.batch),
-                faults.stragglerProb, faults.shardMtbfSeconds * 1e3,
-                hedge.enabled ? "on" : "off");
-    std::printf("  completed:     %10llu inferences (%.1f%% "
+    std::printf("  completed:     %10llu inferences (%.2f%% "
                 "availability)\n",
                 static_cast<unsigned long long>(r.completed),
                 r.availability() * 100);
@@ -267,6 +419,83 @@ cmdShard(ArgParser &args)
                 r.hedgeExtraSeconds * 1e3, r.hedgeExtraBytes / 1024.0);
     std::printf("  wasted:        %10.3f ms (timeouts + failures)\n",
                 r.wastedSeconds * 1e3);
+}
+
+int
+cmdShard(ArgParser &args)
+{
+    ModelConfig cfg = modelByName(args.option("model"));
+    MachineSpec machine = machineByName(args.option("machine"));
+    TimerOptions topts;
+    topts.batch = args.optionInt("batch");
+    auto nodes = static_cast<uint32_t>(args.optionInt("nodes"));
+    int iters = static_cast<int>(args.optionInt("iters"));
+
+    FaultOptions faults = faultsFromArgs(args);
+    RetryPolicy retry = retryFromArgs(args);
+    HedgePolicy hedge = hedgeFromArgs(args);
+    std::string replica_err;
+    ReplicaOptions replicas = replicasFromArgs(args, &replica_err);
+    RP_ASSERT(replica_err.empty(), "%s", replica_err.c_str());
+
+    ShardedInference sim(machine, cfg, nodes, NetworkConfig{}, topts);
+
+    std::printf("sharded %s on %u x %s, batch %lld (straggler p=%.2f, "
+                "MTBF %.0f ms, hedge %s)\n", cfg.name.c_str(), nodes,
+                machine.name.c_str(),
+                static_cast<long long>(topts.batch),
+                faults.stragglerProb, faults.shardMtbfSeconds * 1e3,
+                hedge.enabled ? "on" : "off");
+
+    if (replicas.replicas <= 1) {
+        // Single-copy path: PR-1 mitigations only (a hedge assumes an
+        // implicit spare replica).
+        ResilientShardedResult r = sim.runResilient(
+            /*warmup_iters=*/20, iters, faults, retry, hedge);
+        printResilientResult(r);
+        return 0;
+    }
+
+    ChaosSchedule chaos;
+    auto chaos_events =
+        static_cast<uint32_t>(args.optionInt("chaos-events"));
+    if (chaos_events > 0) {
+        // Horizon heuristic: virtual time advances by roughly one
+        // per-inference latency per iteration; scale from the SLA-ish
+        // chaos window length instead of pre-timing the model.
+        double horizon = static_cast<double>(iters) *
+            args.optionDouble("chaos-ms") / 1e3;
+        chaos = ChaosSchedule::random(
+            faults.seed, nodes, replicas.replicas, horizon, chaos_events,
+            args.optionDouble("chaos-ms") / 1e3);
+    }
+
+    ReplicatedShardedResult r = sim.runReplicated(
+        /*warmup_iters=*/20, iters, faults, retry, hedge, replicas,
+        chaos_events > 0 ? &chaos : nullptr);
+
+    std::printf("  failover layer: %u replicas/shard, router %s, "
+                "breaker %d errors -> open %.1f ms, warm-up %.2fx over "
+                "%.1f ms%s\n", replicas.replicas,
+                routerPolicyName(replicas.router),
+                replicas.breaker.errorThreshold,
+                replicas.breaker.openSeconds * 1e3, r.warmupFactorUsed,
+                replicas.warmupSeconds * 1e3,
+                chaos_events > 0
+                    ? strprintf(", %u chaos windows", chaos_events)
+                        .c_str()
+                    : "");
+    printResilientResult(r);
+    std::printf("  failovers:     %10llu served by a backup replica\n",
+                static_cast<unsigned long long>(r.failovers));
+    std::printf("  breakers:      %10llu opened, %llu re-closed, %llu "
+                "probes, %llu all-open rejects\n",
+                static_cast<unsigned long long>(r.breakerOpens),
+                static_cast<unsigned long long>(r.breakerCloses),
+                static_cast<unsigned long long>(r.probesAdmitted),
+                static_cast<unsigned long long>(r.breakerRejects));
+    std::printf("  warm-up cost:  %10.3f ms re-filling recovered "
+                "replicas' caches\n", r.warmupPenaltySeconds * 1e3);
     return 0;
 }
 
@@ -396,6 +625,29 @@ main(int argc, char **argv)
     args.addOption("retries", "2", "max retries per shard request");
     args.addFlag("hedge", "hedge slow shard requests to a replica");
     args.addOption("hedge-ms", "0", "hedge delay (0 = auto p95)");
+    args.addOption("replicas", "1",
+                   "replicas per shard (>= 2 enables failover)");
+    args.addOption("router", "primary-first",
+                   "replica router: primary-first|least-loaded|p2c");
+    args.addOption("breaker-errors", "3",
+                   "consecutive errors tripping a replica's breaker");
+    args.addOption("breaker-open-ms", "0.5",
+                   "breaker cooldown before half-open");
+    args.addOption("breaker-probe", "0.7",
+                   "half-open probe admission probability");
+    args.addOption("breaker-close-probes", "2",
+                   "probe successes that re-close a breaker");
+    args.addOption("warmup-ms", "2",
+                   "post-recovery warm-up window (cold caches)");
+    args.addOption("warmup-factor", "0",
+                   "post-recovery slowdown (0 = measured cold/steady)");
+    args.addOption("chaos-events", "0",
+                   "scripted chaos windows over the run (shard)");
+    args.addOption("chaos-ms", "5", "mean chaos window duration");
+    args.addOption("cluster-replicas", "1",
+                   "replicas backing the serving tier (serve)");
+    args.addOption("healthy-replicas", "0",
+                   "healthy replicas in the tier (0 = all)");
     args.addFlag("admission", "shed items whose wait blows the SLA");
     args.addOption("admit-wait", "0.5", "sheddable wait as SLA fraction");
     args.addOption("degrade-batch", "0",
@@ -423,6 +675,13 @@ main(int argc, char **argv)
         setGlobalThreadCount(static_cast<int>(args.optionInt("threads")));
 
     try {
+        if (command == "serve" || command == "shard") {
+            std::string invalid = validateServingArgs(args, command);
+            if (!invalid.empty()) {
+                std::fprintf(stderr, "error: %s\n", invalid.c_str());
+                return 2;
+            }
+        }
         if (command == "time")
             return cmdTime(args);
         if (command == "colocate")
