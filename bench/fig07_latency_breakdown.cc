@@ -5,14 +5,62 @@
  *
  * Paper anchors: 0.04 ms / 0.30 ms / 0.60 ms; BatchMatMul+FC >= 96% of
  * RMC3, SLS ~80% of RMC2, FC ~61% and SLS ~20% of RMC1.
+ *
+ * The breakdown is computed from the observability layer rather than
+ * the raw ModelTiming: each model's steady-state timing is emitted as
+ * per-op trace spans (one virtual lane per model) and the table
+ * aggregates the spans' durations by their "kind" argument — the same
+ * pipeline `recperf serve --trace-out` feeds, so this bench doubles as
+ * a check that the spans tile the model latency exactly.
  */
+
+#include <map>
 
 #include "bench/bench_common.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
+#include "obs/trace.hh"
 #include "timing/model_timer.hh"
+#include "timing/op_timing.hh"
 
 using namespace recperf;
+
+namespace {
+
+/** Per-lane aggregate of the "op" spans: total and by-kind seconds. */
+struct LaneBreakdown
+{
+    double totalSeconds = 0.0;
+    std::map<std::string, double> byKind;
+
+    double fraction(const std::string &kind) const
+    {
+        auto it = byKind.find(kind);
+        return it == byKind.end() || totalSeconds <= 0.0
+            ? 0.0
+            : it->second / totalSeconds;
+    }
+};
+
+std::map<uint32_t, LaneBreakdown>
+aggregateOpSpans(const obs::Tracer &tracer)
+{
+    std::map<uint32_t, LaneBreakdown> lanes;
+    for (const obs::TraceEvent &ev : tracer.snapshot()) {
+        if (ev.ph != 'X' || std::string(ev.cat) != "op")
+            continue;
+        LaneBreakdown &lane = lanes[ev.tid];
+        double seconds = ev.durUs / 1e6;
+        lane.totalSeconds += seconds;
+        for (const auto &[key, value] : ev.args) {
+            if (key == "kind")
+                lane.byKind[value] += seconds;
+        }
+    }
+    return lanes;
+}
+
+} // namespace
 
 int
 main()
@@ -21,21 +69,38 @@ main()
                   "(Broadwell)");
 
     MachineSpec bdw = broadwell();
-    std::printf("  %-12s %10s   %6s %6s %7s %6s\n", "model",
-                "latency", "FC", "SLS", "Concat", "Rest");
-    for (const ModelConfig &cfg : representativeModels()) {
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    // Emit every model's steady-state timing as op spans, one virtual
+    // lane per model, back to back on a shared virtual clock.
+    std::vector<ModelConfig> models = representativeModels();
+    double clock = 0.0;
+    for (uint32_t lane = 0; lane < models.size(); ++lane) {
         TimerOptions opts;
         opts.batch = 1;
-        ModelTimer timer(bdw, cfg, opts);
-        ModelTiming t = timer.steadyState(50, 50);
-        double fc = t.fractionByKind(OpKind::FC);
-        double sls = t.fractionByKind(OpKind::SLS);
-        double concat = t.fractionByKind(OpKind::Concat);
+        ModelTimer timer(bdw, models[lane], opts);
+        tracer.nameLane(lane, models[lane].name);
+        clock = emitOpSpans(tracer, timer.steadyState(50, 50), clock,
+                            lane);
+    }
+    tracer.setEnabled(false);
+    std::map<uint32_t, LaneBreakdown> lanes = aggregateOpSpans(tracer);
+
+    std::printf("  %-12s %10s   %6s %6s %7s %6s\n", "model",
+                "latency", "FC", "SLS", "Concat", "Rest");
+    for (uint32_t lane = 0; lane < models.size(); ++lane) {
+        const LaneBreakdown &b = lanes[lane];
+        double fc = b.fraction("FC");
+        double sls = b.fraction("SLS");
+        double concat = b.fraction("Concat");
         std::printf("  %-12s %8.3f ms   %5.1f%% %5.1f%% %6.1f%% %5.1f%%\n",
-                    cfg.name.c_str(), t.totalSeconds() * 1e3, fc * 100,
-                    sls * 100, concat * 100,
+                    models[lane].name.c_str(), b.totalSeconds * 1e3,
+                    fc * 100, sls * 100, concat * 100,
                     (1.0 - fc - sls - concat) * 100);
     }
+    tracer.clear();
 
     bench::section("small vs large variants (paper: ~2x within a class)");
     for (const auto &[small, large] :

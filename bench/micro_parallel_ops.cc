@@ -249,14 +249,13 @@ main(int argc, char **argv)
     Rng rng(7);
 
     bench::banner("micro_parallel_ops — intra-/inter-op thread scaling");
-    std::string json = "{\n  \"benchmark\": \"micro_parallel_ops\",\n";
-    json += "  \"host_cores\": " +
-        std::to_string(std::thread::hardware_concurrency()) + ",\n";
-    json += "  \"min_time_s\": " + std::to_string(min_time) + ",\n";
+    bench::JsonWriter json("micro_parallel_ops");
+    json.config()
+        .add("min_time_s", min_time)
+        .add("threads", args.option("threads"))
+        .add("rows_cap", static_cast<int64_t>(rows_cap));
 
     bench::section("GEMM (C[m,n] = A[m,k] * B[n,k]^T)");
-    json += "  \"gemm\": [\n";
-    bool first = true;
     for (const GemmCase &gc : kGemmCases) {
         std::vector<SweepPoint> points =
             sweepGemm(gc, thread_list, min_time, rng);
@@ -271,28 +270,21 @@ main(int argc, char **argv)
                         "(%.0f%% efficient)\n",
                         p.threads, flops / p.seconds / 1e9, p.speedup,
                         p.efficiency * 100);
-            char buf[256];
-            std::snprintf(buf, sizeof(buf),
-                          "%s    {\"name\": \"%s\", \"m\": %lld, "
-                          "\"n\": %lld, \"k\": %lld, \"threads\": %d, "
-                          "\"seconds_per_iter\": %.6e, "
-                          "\"gflops\": %.3f, \"speedup_vs_1t\": %.3f, "
-                          "\"efficiency\": %.3f}",
-                          first ? "" : ",\n", gc.name,
-                          static_cast<long long>(gc.m),
-                          static_cast<long long>(gc.n),
-                          static_cast<long long>(gc.k), p.threads,
-                          p.seconds, flops / p.seconds / 1e9, p.speedup,
-                          p.efficiency);
-            json += buf;
-            first = false;
+            json.newResult()
+                .add("suite", "gemm")
+                .add("name", gc.name)
+                .add("m", gc.m)
+                .add("n", gc.n)
+                .add("k", gc.k)
+                .add("threads", p.threads)
+                .add("seconds_per_iter", p.seconds)
+                .add("gflops", flops / p.seconds / 1e9)
+                .add("speedup_vs_1t", p.speedup)
+                .add("efficiency", p.efficiency);
         }
     }
-    json += "\n  ],\n";
 
     bench::section("multi-table SparseLengthsSum (RecModel fan-out)");
-    json += "  \"sls\": [\n";
-    first = true;
     for (const SlsCase &sc : kSlsCases) {
         std::vector<SweepPoint> points =
             sweepSls(sc, rows_cap, thread_list, min_time, rng);
@@ -311,40 +303,22 @@ main(int argc, char **argv)
                         "(%.0f%% efficient)\n",
                         p.threads, lookups_per_iter / p.seconds / 1e6,
                         p.speedup, p.efficiency * 100);
-            char buf[320];
-            std::snprintf(buf, sizeof(buf),
-                          "%s    {\"name\": \"%s\", \"tables\": %lld, "
-                          "\"rows_per_table\": %lld, \"dim\": %lld, "
-                          "\"lookups\": %lld, \"batch\": %lld, "
-                          "\"threads\": %d, "
-                          "\"seconds_per_iter\": %.6e, "
-                          "\"mlookups_per_s\": %.3f, "
-                          "\"speedup_vs_1t\": %.3f, "
-                          "\"efficiency\": %.3f}",
-                          first ? "" : ",\n", sc.name,
-                          static_cast<long long>(sc.tables),
-                          static_cast<long long>(
-                              std::min(sc.rows, rows_cap)),
-                          static_cast<long long>(sc.dim),
-                          static_cast<long long>(sc.lookups),
-                          static_cast<long long>(sc.batch), p.threads,
-                          p.seconds, lookups_per_iter / p.seconds / 1e6,
-                          p.speedup, p.efficiency);
-            json += buf;
-            first = false;
+            json.newResult()
+                .add("suite", "sls")
+                .add("name", sc.name)
+                .add("tables", sc.tables)
+                .add("rows_per_table", std::min(sc.rows, rows_cap))
+                .add("dim", sc.dim)
+                .add("lookups", sc.lookups)
+                .add("batch", sc.batch)
+                .add("threads", p.threads)
+                .add("seconds_per_iter", p.seconds)
+                .add("mlookups_per_s", lookups_per_iter / p.seconds / 1e6)
+                .add("speedup_vs_1t", p.speedup)
+                .add("efficiency", p.efficiency);
         }
     }
-    json += "\n  ]\n}\n";
 
-    const std::string out = args.option("out");
-    if (out.empty()) {
-        std::printf("\n%s", json.c_str());
-    } else {
-        std::FILE *f = std::fopen(out.c_str(), "w");
-        RP_ASSERT(f != nullptr, "cannot open %s", out.c_str());
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("\nwrote %s\n", out.c_str());
-    }
+    RP_ASSERT(json.writeOrPrint(args.option("out")), "JSON write failed");
     return 0;
 }

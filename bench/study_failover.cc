@@ -90,31 +90,35 @@ runCell(uint32_t replicas, double mtbf_seconds, uint64_t seed, int iters)
     ropts.replicas = replicas;
     ropts.seed = seed;
 
-    return sim.runReplicated(kWarmup, iters, faultsAt(mtbf_seconds, seed),
-                             retry, hedge, ropts);
+    RunOptions options;
+    options.warmupIters = kWarmup;
+    options.measureIters = iters;
+    options.faults = faultsAt(mtbf_seconds, seed);
+    options.retry = retry;
+    options.hedge = hedge;
+    options.replicas = ropts; // engaged even at R = 1 (baseline cell)
+    return sim.run(options);
 }
 
-std::string
-cellJson(const Cell &c)
+void
+cellJson(bench::JsonWriter &json, const Cell &c)
 {
     const ReplicatedShardedResult &r = c.result;
-    return strprintf(
-        "    {\"replicas\": %u, \"mtbf_ms\": %.3f, \"mttr_ms\": %.3f,\n"
-        "     \"offered\": %llu, \"completed\": %llu, \"failed\": %llu,\n"
-        "     \"availability\": %.6f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,\n"
-        "     \"goodput_inf_s\": %.1f, \"failovers\": %llu,\n"
-        "     \"breaker_opens\": %llu, \"breaker_closes\": %llu,\n"
-        "     \"warmup_penalty_ms\": %.4f}",
-        c.replicas, c.mtbfSeconds * 1e3,
-        c.mtbfSeconds > 0.0 ? kMttrSeconds * 1e3 : 0.0,
-        static_cast<unsigned long long>(r.completed + r.failed),
-        static_cast<unsigned long long>(r.completed),
-        static_cast<unsigned long long>(r.failed),
-        r.availability(), r.latency.p(50) * 1e3, r.latency.p(99) * 1e3,
-        r.goodput(), static_cast<unsigned long long>(r.failovers),
-        static_cast<unsigned long long>(r.breakerOpens),
-        static_cast<unsigned long long>(r.breakerCloses),
-        r.warmupPenaltySeconds * 1e3);
+    json.newResult()
+        .add("replicas", c.replicas)
+        .add("mtbf_ms", c.mtbfSeconds * 1e3)
+        .add("mttr_ms", c.mtbfSeconds > 0.0 ? kMttrSeconds * 1e3 : 0.0)
+        .add("offered", r.completed + r.failed)
+        .add("completed", r.completed)
+        .add("failed", r.failed)
+        .add("availability", r.availability())
+        .add("p50_ms", r.latency.p(50) * 1e3)
+        .add("p99_ms", r.latency.p(99) * 1e3)
+        .add("goodput_inf_s", r.goodput())
+        .add("failovers", r.failovers)
+        .add("breaker_opens", r.breakerOpens)
+        .add("breaker_closes", r.breakerCloses)
+        .add("warmup_penalty_ms", r.warmupPenaltySeconds * 1e3);
 }
 
 } // namespace
@@ -225,28 +229,15 @@ main(int argc, char **argv)
                 "replicated cell\n");
 
     // --- JSON for run_bench.sh -> BENCH_failover.json ---
-    std::string json = "{\n  \"benchmark\": \"study_failover\",\n";
-    json += strprintf("  \"seed\": %llu,\n  \"iters\": %d,\n",
-                      static_cast<unsigned long long>(seed), iters);
-    json += strprintf("  \"nodes\": %u,\n  \"batch\": %lld,\n", kNodes,
-                      static_cast<long long>(kBatch));
-    json += "  \"grid\": [\n";
-    for (size_t i = 0; i < cells.size(); ++i) {
-        json += cellJson(cells[i]);
-        json += i + 1 < cells.size() ? ",\n" : "\n";
-    }
-    json += "  ]\n}\n";
-
-    std::string out = args.option("out");
-    if (out.empty()) {
-        std::printf("\n%s", json.c_str());
-    } else {
-        std::FILE *f = std::fopen(out.c_str(), "w");
-        RP_ASSERT(f, "cannot open %s", out.c_str());
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("\n  wrote %s\n", out.c_str());
-    }
+    bench::JsonWriter json("study_failover");
+    json.config()
+        .add("seed", seed)
+        .add("iters", iters)
+        .add("nodes", kNodes)
+        .add("batch", static_cast<int64_t>(kBatch));
+    for (const Cell &c : cells)
+        cellJson(json, c);
+    RP_ASSERT(json.writeOrPrint(args.option("out")), "JSON write failed");
 
     bench::section("takeaways");
     std::printf("  - a single copy of each shard cannot hold three "

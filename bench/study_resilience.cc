@@ -63,8 +63,13 @@ runCell(double mtbf_seconds, const HedgePolicy &hedge)
     RetryPolicy retry;
     retry.timeoutSeconds = 0.005;
     retry.maxRetries = 2;
-    return sim.runResilient(kWarmup, kMeasure, faultsAt(mtbf_seconds),
-                            retry, hedge);
+    RunOptions options;
+    options.warmupIters = kWarmup;
+    options.measureIters = kMeasure;
+    options.faults = faultsAt(mtbf_seconds);
+    options.retry = retry;
+    options.hedge = hedge;
+    return sim.run(options);
 }
 
 void

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a recperf Chrome trace (and optional metrics JSON).
+
+Checks, in order:
+  1. Schema: top-level traceEvents list; every event carries name /
+     ph / ts / pid / tid, complete ('X') events carry dur, and
+     timestamps are finite and non-negative.
+  2. Nesting: on every virtual lane (tid < 1000) the 'X' spans obey
+     stack discipline -- a span that starts inside another must end
+     inside it (small slack for microsecond rounding).
+  3. Reconciliation: per-op spans (cat "op") tile their enclosing
+     worker "batch" spans; the summed op time must match the summed
+     batch time within --tolerance (default 1%, the PR's acceptance
+     bound).
+  4. Metrics (when a metrics JSON is given): schema_version 1, the
+     counters/gauges/histograms sections exist, histogram percentiles
+     are ordered, and serving.batches.total agrees with the number of
+     batch spans in the trace.
+
+Usage: check_trace.py TRACE.json [METRICS.json] [--tolerance 0.01]
+Exits 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+WALL_TID_BASE = 1000  # tids >= this are wall-clock lanes
+SLACK_US = 5e-3       # nesting slack: ts values are ns-rounded in JSON
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_schema(trace):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+    spans = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # metadata (thread_name)
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing '{key}': {ev}")
+        if not math.isfinite(ev["ts"]) or ev["ts"] < 0:
+            fail(f"event {i} has bad ts {ev['ts']}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if dur is None or not math.isfinite(dur) or dur < 0:
+                fail(f"complete event {i} has bad dur: {ev}")
+            spans.append(ev)
+        elif ph not in ("i", "C"):
+            fail(f"event {i} has unknown ph '{ph}'")
+    if not spans:
+        fail("no complete ('X') spans in trace")
+    return spans
+
+
+def check_nesting(spans):
+    lanes = {}
+    for ev in spans:
+        if ev["tid"] < WALL_TID_BASE:
+            lanes.setdefault(ev["tid"], []).append(ev)
+    checked = 0
+    for tid, lane in lanes.items():
+        # Events arrive sorted (ts asc, then longer span first); a
+        # stack replay verifies each span closes inside its parent.
+        stack = []
+        for ev in lane:
+            t0, t1 = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and t0 >= stack[-1] - SLACK_US:
+                stack.pop()
+            if stack and t1 > stack[-1] + SLACK_US:
+                fail(f"lane {tid}: span '{ev['name']}' "
+                     f"[{t0:.3f}, {t1:.3f}] escapes its parent "
+                     f"(parent ends {stack[-1]:.3f})")
+            stack.append(t1)
+            checked += 1
+    if checked == 0:
+        fail("no virtual-lane spans to nesting-check")
+    return checked
+
+
+def check_reconciliation(spans, tolerance):
+    batch_us = sum(ev["dur"] for ev in spans
+                   if ev["cat"] == "serve" and ev["name"] == "batch")
+    op_us = sum(ev["dur"] for ev in spans if ev["cat"] == "op")
+    if batch_us == 0 or op_us == 0:
+        fail(f"nothing to reconcile (batch {batch_us} us, op {op_us} us)")
+    rel = abs(op_us - batch_us) / batch_us
+    if rel > tolerance:
+        fail(f"op spans ({op_us:.1f} us) vs batch spans "
+             f"({batch_us:.1f} us): {rel * 100:.2f}% apart "
+             f"(tolerance {tolerance * 100:.2f}%)")
+    return rel
+
+
+def check_metrics(metrics, spans):
+    if metrics.get("schema_version") != 1:
+        fail(f"metrics schema_version is "
+             f"{metrics.get('schema_version')!r}, want 1")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"metrics missing '{section}' object")
+    for name, h in metrics["histograms"].items():
+        pcts = [h.get(k, 0.0)
+                for k in ("p50_s", "p95_s", "p99_s", "p999_s")]
+        if any(a > b + 1e-12 for a, b in zip(pcts, pcts[1:])):
+            fail(f"histogram '{name}' percentiles not ordered: {pcts}")
+        if h.get("count", 0) > 0 and h.get("min_s", 0) > h.get("max_s", 0):
+            fail(f"histogram '{name}' min > max")
+    batches = metrics["counters"].get("serving.batches.total")
+    if batches is not None:
+        batch_spans = sum(1 for ev in spans
+                          if ev["cat"] == "serve"
+                          and ev["name"] == "batch")
+        if batches != batch_spans:
+            fail(f"serving.batches.total = {batches} but trace has "
+                 f"{batch_spans} batch spans")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("metrics", nargs="?")
+    ap.add_argument("--tolerance", type=float, default=0.01)
+    args = ap.parse_args()
+
+    trace = load_json(args.trace)
+    spans = check_schema(trace)
+    nested = check_nesting(spans)
+    rel = check_reconciliation(spans, args.tolerance)
+    if args.metrics:
+        check_metrics(load_json(args.metrics), spans)
+    print(f"check_trace: OK ({len(spans)} spans, {nested} nesting-checked, "
+          f"op/batch reconcile within {rel * 100:.3f}%"
+          f"{', metrics ok' if args.metrics else ''})")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,9 @@
 #  - BENCH_failover.json: availability + p99 vs replica count under
 #    injected shard failures (MTBF = 10x MTTR)
 #
+# Both files share the bench::JsonWriter envelope (bench_common.hh):
+#   {schema_version, bench, machine, config, results[]}
+#
 # Usage: scripts/run_bench.sh [--threads 1,2,4,8] [--min-time 0.25]
 # Extra arguments are forwarded to micro_parallel_ops only.
 set -euo pipefail

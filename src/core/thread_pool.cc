@@ -26,6 +26,8 @@ clampThreads(int threads)
     return std::clamp(threads, 1, ThreadPool::kMaxThreads);
 }
 
+std::atomic<PoolChunkHook> g_chunk_hook{nullptr};
+
 int
 defaultThreadCount()
 {
@@ -108,6 +110,7 @@ ThreadPool::workerLoop()
 void
 ThreadPool::runChunks(Region &region)
 {
+    PoolChunkHook hook = g_chunk_hook.load(std::memory_order_acquire);
     for (;;) {
         int64_t chunk = region.next_chunk.fetch_add(
             1, std::memory_order_relaxed);
@@ -118,6 +121,9 @@ ThreadPool::runChunks(Region &region)
         if (!region.failed.load(std::memory_order_acquire)) {
             int64_t lo = region.begin + chunk * region.grain;
             int64_t hi = std::min(lo + region.grain, region.end);
+            std::chrono::steady_clock::time_point t0;
+            if (hook)
+                t0 = std::chrono::steady_clock::now();
             try {
                 (*region.fn)(lo, hi);
             } catch (...) {
@@ -126,6 +132,8 @@ ThreadPool::runChunks(Region &region)
                     region.error = std::current_exception();
                 region.failed.store(true, std::memory_order_release);
             }
+            if (hook)
+                hook(lo, hi, t0, std::chrono::steady_clock::now());
         }
         region.done_chunks.fetch_add(1, std::memory_order_acq_rel);
     }
@@ -240,6 +248,12 @@ bool
 inParallelRegion()
 {
     return t_in_parallel_region;
+}
+
+void
+setPoolChunkHook(PoolChunkHook hook)
+{
+    g_chunk_hook.store(hook, std::memory_order_release);
 }
 
 void

@@ -21,6 +21,7 @@
 #define RECPERF_CORE_THREAD_POOL_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -105,6 +106,20 @@ int globalThreadCount();
 
 /** True while the calling thread is inside a parallelFor region. */
 bool inParallelRegion();
+
+/**
+ * Observability hook for executed pool chunks. The obs layer installs
+ * this (core cannot link against it — the dependency points the other
+ * way); when non-null, every executed chunk is bracketed with
+ * steady-clock reads and reported as (lo, hi, t0, t1) on the executing
+ * thread. Install nullptr to restore the untraced path, whose only cost
+ * is one atomic load per chunk.
+ */
+using PoolChunkHook = void (*)(int64_t lo, int64_t hi,
+                               std::chrono::steady_clock::time_point t0,
+                               std::chrono::steady_clock::time_point t1);
+
+void setPoolChunkHook(PoolChunkHook hook);
 
 /** Convenience wrapper: globalThreadPool()->parallelFor(...). */
 void parallelFor(int64_t begin, int64_t end, int64_t grain,

@@ -4,6 +4,7 @@
 
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
+#include "obs/trace.hh"
 #include "ops/fully_connected.hh"
 
 namespace recperf {
@@ -11,6 +12,7 @@ namespace recperf {
 Tensor
 batchMatMulBt(const Tensor &a, const Tensor &b)
 {
+    obs::Tracer::Scope trace(obs::Tracer::global(), "op", "batchMatMulBt");
     RP_ASSERT(a.rank() == 3 && b.rank() == 3,
               "batchMatMul operands must be rank 3, got %s and %s",
               shapeToString(a.shape()).c_str(),
@@ -47,6 +49,8 @@ batchMatMulBt(const Tensor &a, const Tensor &b)
 Tensor
 dotInteraction(const Tensor &features)
 {
+    obs::Tracer::Scope trace(obs::Tracer::global(), "op",
+                             "dotInteraction");
     RP_ASSERT(features.rank() == 3, "dotInteraction input must be rank 3");
     int64_t batch = features.dim(0);
     int64_t f = features.dim(1);

@@ -7,6 +7,7 @@
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace recperf {
 
@@ -82,6 +83,7 @@ void
 gemmBt(const float *a, const float *b, float *c, int64_t m, int64_t n,
        int64_t k, bool accumulate)
 {
+    obs::Tracer::Scope trace(obs::Tracer::global(), "op", "gemmBt");
     if (n == 0 || k == 0) {
         if (!accumulate)
             std::fill(c, c + m * n, 0.0f);
@@ -120,6 +122,7 @@ FullyConnected::FullyConnected(int64_t in_features, int64_t out_features,
 Tensor
 FullyConnected::forward(const Tensor &x) const
 {
+    obs::Tracer::Scope trace(obs::Tracer::global(), "op", "FC::forward");
     RP_ASSERT(x.rank() == 2, "FC input must be rank 2, got %s",
               shapeToString(x.shape()).c_str());
     RP_ASSERT(x.dim(1) == in_, "FC input width %lld != in_features %lld",

@@ -6,6 +6,7 @@
 
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace recperf {
 
@@ -55,6 +56,8 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
                                  const std::vector<int64_t> &lengths,
                                  SlsReduction reduction) const
 {
+    obs::Tracer::Scope trace(obs::Tracer::global(), "op",
+                             "QSLS::forward");
     int64_t total = std::accumulate(lengths.begin(), lengths.end(),
                                     static_cast<int64_t>(0));
     RP_ASSERT(total == static_cast<int64_t>(ids.size()),

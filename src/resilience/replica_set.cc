@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "obs/trace.hh"
 
 namespace recperf {
 
@@ -122,7 +123,8 @@ ChaosSchedule::serviceFactor(double now) const
 
 ReplicaSet::ReplicaSet(uint32_t shard, const ReplicaOptions &options,
                        double warmup_factor)
-    : options_(options), warmup_factor_(std::max(warmup_factor, 1.0)),
+    : shard_(shard), options_(options),
+      warmup_factor_(std::max(warmup_factor, 1.0)),
       route_rng_(options.seed ^ (0x5e7a11c0deULL * (shard + 1)))
 {
     std::string err = options_.validate();
@@ -161,7 +163,10 @@ ReplicaSet::route(double now)
     std::vector<uint32_t> admitted;
     admitted.reserve(replicas_.size());
     for (uint32_t r = 0; r < replicas_.size(); ++r) {
-        if (replicas_[r].breaker.allowRequest(now))
+        BreakerState before = replicas_[r].breaker.state();
+        bool allow = replicas_[r].breaker.allowRequest(now);
+        noteBreakerTransition(r, before, now);
+        if (allow)
             admitted.push_back(r);
     }
     if (admitted.empty())
@@ -215,7 +220,9 @@ ReplicaSet::recordSuccess(uint32_t replica, double latency, double now)
               replica);
     Replica &r = replicas_[replica];
     r.health.recordSuccess(latency, now);
+    BreakerState before = r.breaker.state();
     r.breaker.onSuccess(now);
+    noteBreakerTransition(replica, before, now);
     r.busyUntil = std::max(r.busyUntil, now) + latency;
 }
 
@@ -226,7 +233,28 @@ ReplicaSet::recordError(uint32_t replica, double now)
               replica);
     Replica &r = replicas_[replica];
     r.health.recordError(now);
+    BreakerState before = r.breaker.state();
     r.breaker.onFailure(now);
+    noteBreakerTransition(replica, before, now);
+}
+
+void
+ReplicaSet::noteBreakerTransition(uint32_t replica, BreakerState before,
+                                  double now) const
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (!tracer.enabled())
+        return;
+    BreakerState after = replicas_[replica].breaker.state();
+    if (after == before)
+        return;
+    tracer.instant(
+        "resilience",
+        strprintf("breaker s%u/r%u %s", shard_, replica,
+                  breakerStateName(after)),
+        now, 1 + shard_,
+        {{"from", breakerStateName(before)},
+         {"to", breakerStateName(after)}});
 }
 
 bool

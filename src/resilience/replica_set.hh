@@ -222,6 +222,11 @@ class ReplicaSet
     /** true when @p a routes ahead of @p b under the active policy. */
     bool better(const Replica &a, const Replica &b, double now) const;
 
+    /** Trace instant when @p replica's breaker left @p before. */
+    void noteBreakerTransition(uint32_t replica, BreakerState before,
+                               double now) const;
+
+    uint32_t shard_;
     ReplicaOptions options_;
     double warmup_factor_;
     Rng route_rng_;

@@ -4,6 +4,7 @@
 
 #include "core/logging.hh"
 #include "core/stats.hh"
+#include "obs/trace.hh"
 
 namespace recperf {
 
@@ -88,41 +89,200 @@ ShardedInference::numNodes() const
     return static_cast<uint32_t>(shard_timers_.size());
 }
 
-ShardedResult
-ShardedInference::run(int warmup_iters, int measure_iters)
+void
+RunResult::exportTo(obs::MetricsRegistry &registry) const
 {
-    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
+    registry.counter("sharded.inferences.completed").add(completed);
+    registry.counter("sharded.inferences.failed").add(failed);
+    registry.counter("sharded.hedges.issued").add(hedgesIssued);
+    registry.counter("sharded.hedges.won").add(hedgeWins);
+    registry.counter("sharded.retries").add(retries);
+    registry.counter("sharded.timeouts").add(timeouts);
+    registry.counter("sharded.shard_down_encounters")
+        .add(shardDownEncounters);
+    registry.counter("sharded.failovers").add(failovers);
+    registry.counter("sharded.breaker.rejects").add(breakerRejects);
+    registry.counter("sharded.breaker.opens").add(breakerOpens);
+    registry.counter("sharded.breaker.closes").add(breakerCloses);
+    registry.counter("sharded.breaker.probes_admitted")
+        .add(probesAdmitted);
+    registry.gauge("sharded.duration_seconds").set(duration);
+    registry.gauge("sharded.availability").set(availability());
+    registry.gauge("sharded.goodput_per_s").set(goodput());
+    registry.gauge("sharded.wasted_seconds").set(wastedSeconds);
+    registry.gauge("sharded.hedge_extra_seconds").set(hedgeExtraSeconds);
+    registry.gauge("sharded.warmup_penalty_seconds")
+        .set(warmupPenaltySeconds);
+    registry.gauge("sharded.mean.slowest_shard_seconds")
+        .set(slowestShardSeconds);
+    registry.gauge("sharded.mean.network_seconds").set(networkSeconds);
+    registry.gauge("sharded.mean.aggregator_seconds")
+        .set(aggregatorSeconds);
+    registry.gauge("sharded.network_bytes_per_inference")
+        .set(networkBytes);
+    obs::LatencyHistogram hist =
+        registry.histogram("sharded.inference_latency_seconds");
+    for (double s : latency.samples())
+        hist.record(s);
+}
 
-    for (int i = 0; i < warmup_iters; ++i) {
-        for (auto &timer : shard_timers_)
-            timer->run();
+RunResult
+ShardedInference::run(const RunOptions &options)
+{
+    const bool replicated = options.replicas.has_value();
+    RP_ASSERT(options.measureIters > 0,
+              "need at least one measured iteration");
+    if (replicated) {
+        std::string err = options.replicas->validate();
+        RP_ASSERT(err.empty(), "%s", err.c_str());
+        err = validateRetryPolicy(options.retry);
+        RP_ASSERT(err.empty(), "%s", err.c_str());
+        err = validateHedgePolicy(options.hedge, options.retry);
+        RP_ASSERT(err.empty(), "%s", err.c_str());
+        err = options.faults.validate();
+        RP_ASSERT(err.empty(), "%s", err.c_str());
+    } else {
+        RP_ASSERT(options.retry.maxRetries >= 0,
+                  "maxRetries cannot be negative");
+    }
+
+    FaultInjector injector(
+        options.faults,
+        numNodes() * (replicated ? options.replicas->replicas : 1));
+    RunResult result;
+
+    // Warmup doubles as calibration of the auto hedge delay (p95 of
+    // clean shard service times) and, with the replica layer, of the
+    // post-recovery warm-up factor: the very first run of each shard
+    // timer touches cold simulated caches, so cold-iteration /
+    // steady-state SLS time *is* the embedding-cache refill cost a
+    // revived replica pays.
+    std::vector<double> cold;
+    std::vector<double> calib;
+    int warmup = std::max(options.warmupIters, replicated ? 2 : 1);
+    for (int i = 0; i < warmup; ++i) {
+        for (auto &timer : shard_timers_) {
+            double s = timer->run().secondsByKind(OpKind::SLS);
+            (replicated && i == 0 ? cold : calib).push_back(s);
+        }
         agg_timer_->run();
     }
+    double hedge_delay = options.hedge.delaySeconds > 0.0
+        ? options.hedge.delaySeconds : percentile(calib, 95.0);
 
-    ShardedResult result;
-    for (int i = 0; i < measure_iters; ++i) {
+    std::vector<ReplicaSet> sets;
+    if (replicated) {
+        double warm_factor = options.replicas->warmupFactor;
+        if (warm_factor <= 0.0) {
+            double cold_mean = 0.0;
+            for (double s : cold)
+                cold_mean += s;
+            cold_mean /= static_cast<double>(cold.size());
+            double steady = percentile(calib, 50.0);
+            warm_factor = steady > 0.0
+                ? std::clamp(cold_mean / steady, 1.0, 100.0) : 1.0;
+        }
+        result.warmupFactorUsed = warm_factor;
+        sets.reserve(numNodes());
+        for (uint32_t s = 0; s < numNodes(); ++s)
+            sets.emplace_back(s, *options.replicas, warm_factor);
+    }
+
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.nameLane(0, "aggregator");
+        for (uint32_t s = 0; s < numNodes(); ++s)
+            tracer.nameLane(1 + s, strprintf("shard %u", s));
+    }
+
+    double now = 0.0;
+    double sum_slowest = 0.0;
+    double sum_agg = 0.0;
+    for (int i = 0; i < options.measureIters; ++i) {
         double slowest = 0.0;
-        for (auto &timer : shard_timers_) {
-            ModelTiming t = timer->run();
-            slowest = std::max(slowest, t.secondsByKind(OpKind::SLS));
+        double elapsed_max = 0.0;
+        bool ok = true;
+        for (uint32_t s = 0; s < numNodes(); ++s) {
+            double base =
+                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
+            ShardOutcome out = replicated
+                ? resolveReplicated(injector, sets[s], options.retry,
+                                    options.hedge, hedge_delay, s, base,
+                                    now, options.chaos, &result)
+                : resolveShard(injector, options.retry, options.hedge,
+                               hedge_delay, s, base, now, &result);
+            if (tracer.enabled()) {
+                tracer.span("shard", strprintf("sls s%u", s), now,
+                            now + out.elapsed, 1 + s,
+                            {{"ok", out.ok ? "true" : "false"},
+                             {"base_us",
+                              strprintf("%.3f", base * 1e6)}});
+            }
+            elapsed_max = std::max(elapsed_max, out.elapsed);
+            if (out.ok)
+                slowest = std::max(slowest, out.elapsed);
+            else
+                ok = false;
         }
         ModelTiming agg = agg_timer_->run();
-        double agg_seconds = agg.totalSeconds() -
-            agg.secondsByKind(OpKind::SLS);
+        double agg_seconds =
+            agg.totalSeconds() - agg.secondsByKind(OpKind::SLS);
+        double network = networkSeconds(nullptr);
 
-        result.slowestShardSeconds += slowest;
-        result.aggregatorSeconds += agg_seconds;
+        if (ok) {
+            double total = slowest + network + agg_seconds;
+            if (tracer.enabled()) {
+                tracer.span("shard", "network", now + slowest,
+                            now + slowest + network, 0);
+                tracer.span("shard", "aggregate",
+                            now + slowest + network, now + total, 0);
+            }
+            result.latency.add(total);
+            ++result.completed;
+            sum_slowest += slowest;
+            sum_agg += agg_seconds;
+            now += total;
+        } else {
+            // The aggregator abandons the inference once the slowest
+            // shard exhausts its retries; no result is produced.
+            ++result.failed;
+            result.wastedSeconds += agg_seconds;
+            if (tracer.enabled()) {
+                tracer.instant("shard", "inference_failed",
+                               now + elapsed_max, 0);
+            }
+            now += elapsed_max + network;
+        }
     }
-    result.slowestShardSeconds /= measure_iters;
-    result.aggregatorSeconds /= measure_iters;
+    result.duration = now;
 
+    for (const ReplicaSet &set : sets) {
+        result.breakerOpens += set.breakerOpens();
+        result.breakerCloses += set.breakerCloses();
+        result.probesAdmitted += set.probesAdmitted();
+    }
+
+    if (result.completed > 0) {
+        result.slowestShardSeconds =
+            sum_slowest / static_cast<double>(result.completed);
+        result.aggregatorSeconds =
+            sum_agg / static_cast<double>(result.completed);
+    }
     // Pooled vectors: one embDim-vector per (sample, table) crosses the
     // network; with one node everything is local.
     result.networkSeconds = networkSeconds(&result.networkBytes);
-
     result.totalSeconds = result.slowestShardSeconds +
         result.networkSeconds + result.aggregatorSeconds;
     return result;
+}
+
+ShardedResult
+ShardedInference::run(int warmup_iters, int measure_iters)
+{
+    RunOptions options;
+    options.warmupIters = warmup_iters;
+    options.measureIters = measure_iters;
+    return run(options).breakdown();
 }
 
 double
@@ -349,61 +509,13 @@ ShardedInference::runResilient(int warmup_iters, int measure_iters,
                                const RetryPolicy &retry,
                                const HedgePolicy &hedge)
 {
-    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
-    RP_ASSERT(retry.maxRetries >= 0, "maxRetries cannot be negative");
-
-    FaultInjector injector(faults, numNodes());
-    ResilientShardedResult result;
-
-    // Warmup doubles as hedge-delay calibration: the auto delay is the
-    // p95 of clean (un-faulted) shard service times.
-    std::vector<double> calib;
-    int warmup = std::max(warmup_iters, 1);
-    for (int i = 0; i < warmup; ++i) {
-        for (auto &timer : shard_timers_)
-            calib.push_back(timer->run().secondsByKind(OpKind::SLS));
-        agg_timer_->run();
-    }
-    double hedge_delay = hedge.delaySeconds > 0.0 ? hedge.delaySeconds
-                                                  : percentile(calib, 95.0);
-
-    double now = 0.0;
-    for (int i = 0; i < measure_iters; ++i) {
-        double slowest = 0.0;
-        double elapsed_max = 0.0;
-        bool ok = true;
-        for (uint32_t s = 0; s < numNodes(); ++s) {
-            double base =
-                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
-            ShardOutcome out = resolveShard(injector, retry, hedge,
-                                            hedge_delay, s, base, now,
-                                            &result);
-            elapsed_max = std::max(elapsed_max, out.elapsed);
-            if (out.ok)
-                slowest = std::max(slowest, out.elapsed);
-            else
-                ok = false;
-        }
-        ModelTiming agg = agg_timer_->run();
-        double agg_seconds =
-            agg.totalSeconds() - agg.secondsByKind(OpKind::SLS);
-        double network = networkSeconds(nullptr);
-
-        if (ok) {
-            double total = slowest + network + agg_seconds;
-            result.latency.add(total);
-            ++result.completed;
-            now += total;
-        } else {
-            // The aggregator abandons the inference once the slowest
-            // shard exhausts its retries; no result is produced.
-            ++result.failed;
-            result.wastedSeconds += agg_seconds;
-            now += elapsed_max + network;
-        }
-    }
-    result.duration = now;
-    return result;
+    RunOptions options;
+    options.warmupIters = warmup_iters;
+    options.measureIters = measure_iters;
+    options.faults = faults;
+    options.retry = retry;
+    options.hedge = hedge;
+    return run(options);
 }
 
 ReplicatedShardedResult
@@ -414,95 +526,15 @@ ShardedInference::runReplicated(int warmup_iters, int measure_iters,
                                 const ReplicaOptions &replicas,
                                 const ChaosSchedule *chaos)
 {
-    RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
-    std::string err = replicas.validate();
-    RP_ASSERT(err.empty(), "%s", err.c_str());
-    err = validateRetryPolicy(retry);
-    RP_ASSERT(err.empty(), "%s", err.c_str());
-    err = validateHedgePolicy(hedge, retry);
-    RP_ASSERT(err.empty(), "%s", err.c_str());
-    err = faults.validate();
-    RP_ASSERT(err.empty(), "%s", err.c_str());
-
-    FaultInjector injector(faults, numNodes() * replicas.replicas);
-    ReplicatedShardedResult result;
-
-    // Warmup doubles as calibration of the auto hedge delay (p95 of
-    // clean shard service times) and of the post-recovery warm-up
-    // factor: the very first run of each shard timer touches cold
-    // simulated caches, so cold-iteration / steady-state SLS time *is*
-    // the embedding-cache refill cost a revived replica pays.
-    std::vector<double> cold;
-    std::vector<double> calib;
-    int warmup = std::max(warmup_iters, 2);
-    for (int i = 0; i < warmup; ++i) {
-        for (auto &timer : shard_timers_) {
-            double s = timer->run().secondsByKind(OpKind::SLS);
-            (i == 0 ? cold : calib).push_back(s);
-        }
-        agg_timer_->run();
-    }
-    double hedge_delay = hedge.delaySeconds > 0.0 ? hedge.delaySeconds
-                                                  : percentile(calib, 95.0);
-
-    double warm_factor = replicas.warmupFactor;
-    if (warm_factor <= 0.0) {
-        double cold_mean = 0.0;
-        for (double s : cold)
-            cold_mean += s;
-        cold_mean /= static_cast<double>(cold.size());
-        double steady = percentile(calib, 50.0);
-        warm_factor = steady > 0.0
-            ? std::clamp(cold_mean / steady, 1.0, 100.0) : 1.0;
-    }
-    result.warmupFactorUsed = warm_factor;
-
-    std::vector<ReplicaSet> sets;
-    sets.reserve(numNodes());
-    for (uint32_t s = 0; s < numNodes(); ++s)
-        sets.emplace_back(s, replicas, warm_factor);
-
-    double now = 0.0;
-    for (int i = 0; i < measure_iters; ++i) {
-        double slowest = 0.0;
-        double elapsed_max = 0.0;
-        bool ok = true;
-        for (uint32_t s = 0; s < numNodes(); ++s) {
-            double base =
-                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
-            ShardOutcome out = resolveReplicated(
-                injector, sets[s], retry, hedge, hedge_delay, s, base,
-                now, chaos, &result);
-            elapsed_max = std::max(elapsed_max, out.elapsed);
-            if (out.ok)
-                slowest = std::max(slowest, out.elapsed);
-            else
-                ok = false;
-        }
-        ModelTiming agg = agg_timer_->run();
-        double agg_seconds =
-            agg.totalSeconds() - agg.secondsByKind(OpKind::SLS);
-        double network = networkSeconds(nullptr);
-
-        if (ok) {
-            double total = slowest + network + agg_seconds;
-            result.latency.add(total);
-            ++result.completed;
-            now += total;
-        } else {
-            ++result.failed;
-            result.wastedSeconds += agg_seconds;
-            now += elapsed_max + network;
-        }
-    }
-    result.duration = now;
-
-    for (const ReplicaSet &set : sets) {
-        result.breakerOpens += set.breakerOpens();
-        result.breakerCloses += set.breakerCloses();
-        result.probesAdmitted += set.probesAdmitted();
-    }
-    return result;
+    RunOptions options;
+    options.warmupIters = warmup_iters;
+    options.measureIters = measure_iters;
+    options.faults = faults;
+    options.retry = retry;
+    options.hedge = hedge;
+    options.replicas = replicas;
+    options.chaos = chaos;
+    return run(options);
 }
 
 } // namespace recperf

@@ -16,9 +16,11 @@
 #define RECPERF_SERVING_DISTRIBUTED_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/stats.hh"
+#include "obs/metrics.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
 #include "resilience/replica_set.hh"
@@ -125,6 +127,86 @@ struct ReplicatedShardedResult : ResilientShardedResult
 };
 
 /**
+ * Configuration of one sharded closed-loop run — the single entry point
+ * subsuming the legacy run/runResilient/runReplicated trio. The
+ * defaults describe a clean run: no faults, no hedging, no replica
+ * layer. Turning knobs composes: any FaultOptions activates the fault
+ * schedule, engaging `replicas` activates the replica/failover layer
+ * (breakers, health routing, warm-up — even with replicas.replicas ==
+ * 1, which exercises that machinery without a failover target), and
+ * `chaos` layers scripted fault windows on top.
+ */
+struct RunOptions
+{
+    /**
+     * Warm-up iterations before measurement; they also calibrate the
+     * auto hedge delay (p95 of clean shard times) and, with the
+     * replica layer, the post-recovery warm-up factor. Clamped to >= 1
+     * (>= 2 with replicas, whose calibration needs a cold and a steady
+     * sample).
+     */
+    int warmupIters = 20;
+
+    int measureIters = 100;
+
+    /** Fault schedule of shard (or replica) failure processes. */
+    FaultOptions faults;
+
+    /** Timeout / retry / backoff mitigation. */
+    RetryPolicy retry;
+
+    /** Tail-latency hedging (delaySeconds == 0 auto-calibrates). */
+    HedgePolicy hedge;
+
+    /**
+     * Replication of every shard. Disengaged (nullopt) runs the
+     * single-copy path where a hedge assumes an implicit spare
+     * replica; engaged runs ReplicaSet routing with breakers and
+     * warm-up bookkeeping.
+     */
+    std::optional<ReplicaOptions> replicas;
+
+    /** Optional scripted chaos windows (replica-layer runs only). */
+    const ChaosSchedule *chaos = nullptr;
+};
+
+/**
+ * Everything one sharded run reports: the resilient and replica-layer
+ * accounting plus the mean latency breakdown of completed inferences
+ * (the legacy ShardedResult view).
+ */
+struct RunResult : ReplicatedShardedResult
+{
+    /** Mean completed-inference latency (slowest + network + agg). */
+    double totalSeconds = 0.0;
+
+    /** Mean winning slowest-shard time over completed inferences. */
+    double slowestShardSeconds = 0.0;
+
+    /** Pooled-vector all-to-one transfer time per inference. */
+    double networkSeconds = 0.0;
+
+    /** Mean aggregator (interaction + MLP) time per inference. */
+    double aggregatorSeconds = 0.0;
+
+    /** Pooled-embedding bytes crossing the network per inference. */
+    double networkBytes = 0.0;
+
+    /** Slice down to the legacy per-inference breakdown. */
+    ShardedResult breakdown() const
+    {
+        return {totalSeconds, slowestShardSeconds, networkSeconds,
+                aggregatorSeconds, networkBytes};
+    }
+
+    /**
+     * Export counters/latencies into @p registry under the `sharded.`
+     * prefix. Like ServingStats::exportTo, called once per run.
+     */
+    void exportTo(obs::MetricsRegistry &registry) const;
+};
+
+/**
  * Times table-wise sharded inference of one model over N nodes of the
  * same machine type.
  */
@@ -140,11 +222,8 @@ class ShardedInference
                      uint32_t num_nodes, const NetworkConfig &network,
                      const TimerOptions &options);
 
-    /** Average per-inference latency in steady state. */
-    ShardedResult run(int warmup_iters, int measure_iters);
-
     /**
-     * Closed-loop run under injected faults with mitigation policies.
+     * Closed-loop run under @p options — the one entry point.
      *
      * Per inference, every shard request is resolved against the fault
      * schedule: a down shard fails fast and is retried (with
@@ -153,39 +232,41 @@ class ShardedInference
      * hedging is on, a duplicate request goes to a replica after the
      * hedge delay and the shard's latency becomes min(primary, hedge).
      * Retry exhaustion on any shard fails the inference — it never
-     * hangs. Fully deterministic for a given FaultOptions::seed.
+     * hangs.
      *
-     * Warmup also calibrates the auto hedge delay
-     * (HedgePolicy::delaySeconds == 0) to the p95 of observed shard
-     * service times.
+     * With `options.replicas` engaged, each shard's R replicas run
+     * independent failure processes (process r of shard s is seeded
+     * stream s*R + r) and a ReplicaSet routes each attempt by
+     * ReplicaOptions::router among replicas whose circuit breaker
+     * admits the request; hedges (and rescues of a down primary) go to
+     * the router's second-best replica rather than a blind duplicate.
+     * Errors and timeouts feed each replica's HealthTracker and
+     * CircuitBreaker, so a dead replica is failed over after
+     * `breaker.errorThreshold` strikes and probed back in once it
+     * recovers — paying a cold-cache warm-up penalty derived from the
+     * shard's own timing model. `options.chaos` layers scripted fault
+     * windows (kills, rack failures, straggler storms) on top.
+     *
+     * Fully deterministic for fixed seeds; with the default options
+     * (no faults, no hedge, no replica layer) the result's breakdown()
+     * is bit-identical to the legacy plain run.
      */
+    RunResult run(const RunOptions &options);
+
+    /** @deprecated Legacy entry point; use run(const RunOptions&). */
+    [[deprecated("use run(const RunOptions&)")]]
+    ShardedResult run(int warmup_iters, int measure_iters);
+
+    /** @deprecated Legacy entry point; use run(const RunOptions&). */
+    [[deprecated("use run(const RunOptions&)")]]
     ResilientShardedResult runResilient(int warmup_iters,
                                         int measure_iters,
                                         const FaultOptions &faults,
                                         const RetryPolicy &retry,
                                         const HedgePolicy &hedge);
 
-    /**
-     * Closed-loop run with R replicas per shard and failure-aware
-     * routing (the tolerance layer over runResilient's mitigations).
-     *
-     * Each shard's R replicas run independent failure processes from
-     * FaultOptions (process r of shard s is seeded stream s*R + r).
-     * Per attempt a ReplicaSet routes by ReplicaOptions::router among
-     * replicas whose circuit breaker admits the request; hedges (and
-     * rescues of a down primary) go to the router's second-best
-     * replica rather than a blind duplicate. Errors and timeouts feed
-     * each replica's HealthTracker and CircuitBreaker, so a dead
-     * replica is failed over after `breaker.errorThreshold` strikes
-     * and probed back in once it recovers — paying a cold-cache
-     * warm-up penalty derived from the shard's own timing model.
-     *
-     * @param chaos optional scripted fault windows layered on top of
-     *        the renewal failure processes (kills, rack failures,
-     *        straggler storms).
-     *
-     * Fully deterministic for fixed FaultOptions/ReplicaOptions seeds.
-     */
+    /** @deprecated Legacy entry point; use run(const RunOptions&). */
+    [[deprecated("use run(const RunOptions&)")]]
     ReplicatedShardedResult runReplicated(int warmup_iters,
                                           int measure_iters,
                                           const FaultOptions &faults,

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/logging.hh"
+#include "obs/trace.hh"
 
 namespace recperf {
 
@@ -44,6 +45,96 @@ ServingStats::servedFraction() const
     uint64_t offered = offeredItems();
     return offered > 0 ? static_cast<double>(completedItems()) /
         static_cast<double>(offered) : 0.0;
+}
+
+void
+ServingStats::exportTo(obs::MetricsRegistry &registry) const
+{
+    registry.counter("serving.items.sla_met").add(slaMet);
+    registry.counter("serving.items.sla_missed").add(slaMissed);
+    registry.counter("serving.items.shed").add(shedItems);
+    registry.counter("serving.items.dropped_low_priority")
+        .add(droppedLowPriority);
+    registry.counter("serving.batches.total").add(serviceTime.count());
+    registry.counter("serving.batches.degraded").add(degradedBatches);
+    registry.gauge("serving.duration_seconds").set(duration);
+    registry.gauge("serving.throughput.within_sla_items_per_s")
+        .set(goodThroughput());
+    registry.gauge("serving.throughput.total_items_per_s")
+        .set(totalThroughput());
+
+    obs::LatencyHistogram item =
+        registry.histogram("serving.item_latency_seconds");
+    for (double s : itemLatency.samples())
+        item.record(s);
+    obs::LatencyHistogram service =
+        registry.histogram("serving.batch_service_seconds");
+    for (double s : serviceTime.samples())
+        service.record(s);
+    obs::LatencyHistogram fc =
+        registry.histogram("serving.batch_fc_seconds");
+    for (double s : fcTime.samples())
+        fc.record(s);
+}
+
+std::string
+ServingStats::summarize(const obs::MetricsSnapshot &snap)
+{
+    uint64_t met = snap.counter("serving.items.sla_met");
+    uint64_t missed = snap.counter("serving.items.sla_missed");
+    uint64_t shed = snap.counter("serving.items.shed");
+    uint64_t dropped = snap.counter("serving.items.dropped_low_priority");
+    uint64_t completed = met + missed;
+    uint64_t offered = completed + shed + dropped;
+    double duration = snap.gauge("serving.duration_seconds");
+
+    std::string out;
+    out += strprintf("  offered items:     %12llu\n",
+                     static_cast<unsigned long long>(offered));
+    out += strprintf("  completed items:   %12llu\n",
+                     static_cast<unsigned long long>(completed));
+    if (shed)
+        out += strprintf("  shed at admission: %12llu\n",
+                         static_cast<unsigned long long>(shed));
+    if (dropped)
+        out += strprintf("  dropped low-prio:  %12llu\n",
+                         static_cast<unsigned long long>(dropped));
+    uint64_t degraded = snap.counter("serving.batches.degraded");
+    if (degraded) {
+        out += strprintf("  degraded batches:  %12llu of %llu\n",
+                         static_cast<unsigned long long>(degraded),
+                         static_cast<unsigned long long>(
+                             snap.counter("serving.batches.total")));
+    }
+    if (completed) {
+        out += strprintf("  within SLA:        %12.1f%%\n",
+                         100.0 * static_cast<double>(met) /
+                             static_cast<double>(completed));
+    }
+    if (duration > 0.0) {
+        out += strprintf("  duration:          %12.3f s\n", duration);
+        out += strprintf(
+            "  goodput:           %12.0f items/s within SLA\n",
+            snap.gauge("serving.throughput.within_sla_items_per_s"));
+    }
+    struct Row { const char *label; const char *name; };
+    static constexpr Row kRows[] = {
+        {"item latency", "serving.item_latency_seconds"},
+        {"batch service", "serving.batch_service_seconds"},
+        {"batch FC time", "serving.batch_fc_seconds"},
+    };
+    for (const Row &row : kRows) {
+        const obs::HistogramSnapshot *h = snap.histogram(row.name);
+        if (!h || h->count == 0)
+            continue;
+        out += strprintf(
+            "  %-14s mean %10s  p50 %10s  p95 %10s  p99 %10s\n",
+            row.label, obs::humanSeconds(h->mean()).c_str(),
+            obs::humanSeconds(h->percentile(50)).c_str(),
+            obs::humanSeconds(h->percentile(95)).c_str(),
+            obs::humanSeconds(h->percentile(99)).c_str());
+    }
+    return out;
 }
 
 Server::Server(const MachineSpec &machine, const ModelConfig &config,
@@ -130,6 +221,13 @@ Server::serviceBatch(size_t worker, int64_t batch, double now,
         jitter *= injector_->serviceMultiplier(now);
     if (fc_seconds)
         *fc_seconds = timing.secondsByKind(OpKind::FC) * jitter;
+    // Per-op child spans tile the enclosing batch span exactly because
+    // each op is stretched by the same jitter as the batch total.
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        emitOpSpans(tracer, timing, now,
+                    static_cast<uint32_t>(1 + worker), jitter);
+    }
     return timing.totalSeconds() * jitter;
 }
 
@@ -157,6 +255,15 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         for (size_t i = 0; i < arrivals.size(); ++i) {
             low_priority[i] = priority_rng_.nextBool(
                 options_.degrade.lowPriorityFraction);
+        }
+    }
+
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        tracer.nameLane(0, "batching queue");
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            tracer.nameLane(static_cast<uint32_t>(1 + w),
+                            strprintf("worker %zu", w));
         }
     }
 
@@ -209,11 +316,15 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
             double wait = start - arrivals[next];
             if (options_.admission.enabled && wait > wait_budget) {
                 ++stats.shedItems;
+                if (tracer.enabled())
+                    tracer.instant("serve", "shed", start, 0);
                 ++next;
                 continue;
             }
             if (degraded && !low_priority.empty() && low_priority[next]) {
                 ++stats.droppedLowPriority;
+                if (tracer.enabled())
+                    tracer.instant("serve", "drop_low_priority", start, 0);
                 ++next;
                 continue;
             }
@@ -235,6 +346,17 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         double finish = start + service;
         stats.serviceTime.add(service);
         stats.fcTime.add(fc);
+        if (tracer.enabled()) {
+            std::string items =
+                strprintf("%zu", batch_arrivals.size());
+            tracer.span("serve", "batch_assembly",
+                        batch_arrivals.front(), start, 0,
+                        {{"items", items}});
+            tracer.span("serve", "batch", start, finish,
+                        static_cast<uint32_t>(1 + w),
+                        {{"items", items},
+                         {"degraded", degraded ? "true" : "false"}});
+        }
 
         for (double arrival : batch_arrivals) {
             double latency = finish - arrival;
@@ -257,6 +379,14 @@ Server::runClosedLoop(uint64_t batches_per_worker)
 {
     RP_ASSERT(batches_per_worker > 0, "need at least one batch");
 
+    obs::Tracer &tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            tracer.nameLane(static_cast<uint32_t>(1 + w),
+                            strprintf("worker %zu", w));
+        }
+    }
+
     ServingStats stats;
     std::vector<double> busy(workers_.size(), 0.0);
     // Round-robin so tenant cache streams interleave realistically.
@@ -267,6 +397,14 @@ Server::runClosedLoop(uint64_t batches_per_worker)
                                           &fc);
             stats.serviceTime.add(service);
             stats.fcTime.add(fc);
+            if (tracer.enabled()) {
+                tracer.span("serve", "batch", busy[w], busy[w] + service,
+                            static_cast<uint32_t>(1 + w),
+                            {{"items",
+                              strprintf("%lld",
+                                        static_cast<long long>(
+                                            options_.maxBatch))}});
+            }
             busy[w] += service;
             for (int64_t i = 0; i < options_.maxBatch; ++i) {
                 stats.itemLatency.add(service);

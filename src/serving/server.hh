@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/stats.hh"
+#include "obs/metrics.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
 #include "timing/model_timer.hh"
@@ -118,6 +119,21 @@ struct ServingStats
 
     /** Fraction of offered items that were served at all. */
     double servedFraction() const;
+
+    /**
+     * Export this run's counters and latency distributions into
+     * @p registry under the `serving.` prefix. Called once at the end
+     * of a run (not incrementally) so repeated runs never double-count
+     * stale shards; pair with MetricsRegistry::reset() between runs.
+     */
+    void exportTo(obs::MetricsRegistry &registry) const;
+
+    /**
+     * The one end-of-run summary formatter: renders the `serving.`
+     * metrics of @p snap as the human-readable table every CLI command
+     * prints. Non-serving metrics in the snapshot are ignored.
+     */
+    static std::string summarize(const obs::MetricsSnapshot &snap);
 };
 
 /**

@@ -93,6 +93,22 @@ ModelTiming::accumulate(const ModelTiming &other)
     }
 }
 
+double
+emitOpSpans(obs::Tracer &tracer, const ModelTiming &timing, double t0,
+            uint32_t tid, double scale)
+{
+    if (!tracer.enabled())
+        return t0 + scale * timing.totalSeconds();
+    double t = t0;
+    for (const OpTiming &op : timing.ops) {
+        double end = t + scale * op.seconds;
+        tracer.span("op", op.name, t, end, tid,
+                    {{"kind", opKindName(op.kind)}});
+        t = end;
+    }
+    return t;
+}
+
 void
 ModelTiming::scale(double inv_n)
 {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "ops/op_cost.hh"
 
 namespace recperf {
@@ -68,6 +69,18 @@ struct ModelTiming
     /** Divide all time/instruction quantities by @p n (averaging). */
     void scale(double inv_n);
 };
+
+/**
+ * Emit one virtual-time trace span per operator of @p timing, tiling
+ * [t0, t0 + scale * totalSeconds] on lane @p tid in execution order
+ * (category "op", args carrying the operator kind). @p scale stretches
+ * each op's modeled latency by the same factor the caller applied to
+ * the total (serving-layer jitter), so the children exactly tile the
+ * parent span. Returns the end timestamp. No-op (returning the end
+ * timestamp) when tracing is disabled.
+ */
+double emitOpSpans(obs::Tracer &tracer, const ModelTiming &timing,
+                   double t0, uint32_t tid, double scale = 1.0);
 
 } // namespace recperf
 

@@ -74,8 +74,15 @@ runChaos(uint32_t replicas, const FaultOptions &faults,
     ShardedInference sim = makeSim();
     HedgePolicy hedge;
     hedge.enabled = hedge_on;
-    return sim.runReplicated(kWarmup, iters, faults, standardRetry(),
-                             hedge, replicasOf(replicas), chaos);
+    RunOptions options;
+    options.warmupIters = kWarmup;
+    options.measureIters = iters;
+    options.faults = faults;
+    options.retry = standardRetry();
+    options.hedge = hedge;
+    options.replicas = replicasOf(replicas);
+    options.chaos = chaos;
+    return sim.run(options);
 }
 
 /** Rack failure covering the whole run: replica rank @p rank is down
@@ -187,8 +194,15 @@ TEST(ChaosRun, NoHangWithZeroTimeout)
     HedgePolicy hedge;
     hedge.enabled = true;
     hedge.delaySeconds = 0.5e-3;
-    ReplicatedShardedResult r = sim.runReplicated(
-        kWarmup, kIters, faults, retry, hedge, replicasOf(2), &chaos);
+    RunOptions options;
+    options.warmupIters = kWarmup;
+    options.measureIters = kIters;
+    options.faults = faults;
+    options.retry = retry;
+    options.hedge = hedge;
+    options.replicas = replicasOf(2);
+    options.chaos = &chaos;
+    ReplicatedShardedResult r = sim.run(options);
     EXPECT_EQ(r.completed + r.failed, static_cast<uint64_t>(kIters));
 }
 
@@ -351,15 +365,20 @@ TEST(ChaosDeterminism, ResilientPathMatchesAcrossThreadCounts)
     HedgePolicy hedge;
     hedge.enabled = true;
 
+    RunOptions options;
+    options.warmupIters = kWarmup;
+    options.measureIters = kIters;
+    options.faults = faults;
+    options.retry = retry;
+    options.hedge = hedge;
+
     int original = globalThreadCount();
     setGlobalThreadCount(1);
     ShardedInference sim_one = makeSim();
-    ResilientShardedResult one =
-        sim_one.runResilient(kWarmup, kIters, faults, retry, hedge);
+    ResilientShardedResult one = sim_one.run(options);
     setGlobalThreadCount(4);
     ShardedInference sim_four = makeSim();
-    ResilientShardedResult four =
-        sim_four.runResilient(kWarmup, kIters, faults, retry, hedge);
+    ResilientShardedResult four = sim_four.run(options);
     setGlobalThreadCount(original);
 
     EXPECT_EQ(one.completed, four.completed);

@@ -20,7 +20,8 @@ shard(uint32_t nodes, int64_t batch = 16)
     opts.batch = batch;
     ShardedInference sim(broadwell(), rmc2Small(), nodes, NetworkConfig{},
                          opts);
-    return sim.run(8, 6);
+    return sim.run(RunOptions{.warmupIters = 8, .measureIters = 6})
+        .breakdown();
 }
 
 TEST(Sharded, SingleNodeHasNoNetworkCost)
@@ -88,7 +89,9 @@ TEST(Sharded, NumNodesReported)
     opts.batch = 4;
     ShardedInference sim(skylake(), rmc2Small(), 7, NetworkConfig{}, opts);
     EXPECT_EQ(sim.numNodes(), 7u);
-    ShardedResult r = sim.run(3, 3);
+    ShardedResult r =
+        sim.run(RunOptions{.warmupIters = 3, .measureIters = 3})
+            .breakdown();
     EXPECT_GT(r.totalSeconds, 0.0);
 }
 

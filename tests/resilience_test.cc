@@ -49,8 +49,13 @@ runSharded(const FaultOptions &faults, const RetryPolicy &retry,
     opts.batch = 16;
     ShardedInference sim(broadwell(), rmc1Small(), 4, NetworkConfig{},
                          opts);
-    return sim.runResilient(/*warmup_iters=*/20, measure, faults, retry,
-                            hedge);
+    RunOptions options;
+    options.warmupIters = 20;
+    options.measureIters = measure;
+    options.faults = faults;
+    options.retry = retry;
+    options.hedge = hedge;
+    return sim.run(options);
 }
 
 TEST(FaultInjector, DeterministicFromSeed)

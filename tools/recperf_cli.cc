@@ -19,7 +19,9 @@
  *   zoo       list the model zoo and machine fleet
  *
  * The global --threads flag (or RECPERF_THREADS) sizes the worker
- * pool used by every tensor kernel.
+ * pool used by every tensor kernel. serve/shard/eval accept
+ * --trace-out=<file> (Chrome trace-event JSON; open in Perfetto) and
+ * --metrics-out=<file> (metrics-registry JSON plus a summary table).
  *
  * Examples:
  *   recperf time --model rmc2 --machine skylake --batch 64
@@ -44,6 +46,8 @@
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
 #include "model/rec_model.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
 #include "resilience/fault_injector.hh"
@@ -327,9 +331,54 @@ validateServingArgs(ArgParser &args, const std::string &command)
     return "";
 }
 
+/**
+ * Observability plumbing shared by serve/shard/eval: --trace-out
+ * enables the tracer for the run, --metrics-out writes the drained
+ * registry as JSON (plus a summary table on stdout).
+ */
+void
+obsBegin(ArgParser &args)
+{
+    obs::MetricsRegistry::global().reset();
+    if (!args.option("trace-out").empty()) {
+        obs::Tracer::global().clear();
+        obs::Tracer::global().setEnabled(true);
+    }
+}
+
+void
+obsEnd(ArgParser &args)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    const std::string &trace_path = args.option("trace-out");
+    if (!trace_path.empty()) {
+        tracer.setEnabled(false);
+        if (tracer.writeFile(trace_path)) {
+            std::printf("  trace:         wrote %s (%zu events)\n",
+                        trace_path.c_str(), tracer.snapshot().size());
+        }
+    }
+    const std::string &metrics_path = args.option("metrics-out");
+    if (metrics_path.empty())
+        return;
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    std::string json = snap.toJson();
+    std::FILE *f = std::fopen(metrics_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     metrics_path.c_str());
+    } else {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("  metrics:       wrote %s\n", metrics_path.c_str());
+    }
+    std::printf("metrics summary:\n%s", snap.table().c_str());
+}
+
 int
 cmdServe(ArgParser &args)
 {
+    obsBegin(args);
     ModelConfig cfg = modelByName(args.option("model"));
     MachineSpec machine = machineByName(args.option("machine"));
     ServerOptions sopts;
@@ -367,31 +416,14 @@ cmdServe(ArgParser &args)
                     sopts.clusterReplicas,
                     static_cast<double>(sopts.clusterReplicas) / healthy);
     }
-    std::printf("  offered:       %10.0f items/s\n",
+    std::printf("  offered rate:  %10.0f items/s\n",
                 args.optionDouble("rate"));
-    std::printf("  within SLA:    %10.0f items/s (%.1f%%)\n",
-                stats.goodThroughput(), stats.slaFraction() * 100);
-    std::printf("  latency p50:   %10.3f ms\n",
-                stats.itemLatency.p(50) * 1e3);
-    std::printf("  latency p99:   %10.3f ms\n",
-                stats.itemLatency.p(99) * 1e3);
-    std::printf("  mean batch:    %10.1f items\n",
-                stats.serviceTime.count()
-                    ? static_cast<double>(stats.itemLatency.count()) /
-                        static_cast<double>(stats.serviceTime.count())
-                    : 0.0);
-    if (sopts.admission.enabled || sopts.degrade.enabled) {
-        std::printf("  served:        %10.1f%% of offered items\n",
-                    stats.servedFraction() * 100);
-        std::printf("  shed:          %10llu items (admission)\n",
-                    static_cast<unsigned long long>(stats.shedItems));
-        std::printf("  dropped:       %10llu low-priority items\n",
-                    static_cast<unsigned long long>(
-                        stats.droppedLowPriority));
-        std::printf("  degraded:      %10llu batches\n",
-                    static_cast<unsigned long long>(
-                        stats.degradedBatches));
-    }
+    stats.exportTo(obs::MetricsRegistry::global());
+    std::fputs(ServingStats::summarize(
+                   obs::MetricsRegistry::global().snapshot())
+                   .c_str(),
+               stdout);
+    obsEnd(args);
     return 0;
 }
 
@@ -424,6 +456,7 @@ printResilientResult(const ResilientShardedResult &r)
 int
 cmdShard(ArgParser &args)
 {
+    obsBegin(args);
     ModelConfig cfg = modelByName(args.option("model"));
     MachineSpec machine = machineByName(args.option("machine"));
     TimerOptions topts;
@@ -447,18 +480,27 @@ cmdShard(ArgParser &args)
                 faults.stragglerProb, faults.shardMtbfSeconds * 1e3,
                 hedge.enabled ? "on" : "off");
 
-    if (replicas.replicas <= 1) {
-        // Single-copy path: PR-1 mitigations only (a hedge assumes an
-        // implicit spare replica).
-        ResilientShardedResult r = sim.runResilient(
-            /*warmup_iters=*/20, iters, faults, retry, hedge);
-        printResilientResult(r);
-        return 0;
-    }
+    RunOptions ropts;
+    ropts.warmupIters = 20;
+    ropts.measureIters = iters;
+    ropts.faults = faults;
+    ropts.retry = retry;
+    ropts.hedge = hedge;
 
     ChaosSchedule chaos;
     auto chaos_events =
         static_cast<uint32_t>(args.optionInt("chaos-events"));
+    if (replicas.replicas <= 1) {
+        // Single-copy path: PR-1 mitigations only (a hedge assumes an
+        // implicit spare replica). `ropts.replicas` stays disengaged.
+        RunResult r = sim.run(ropts);
+        printResilientResult(r);
+        r.exportTo(obs::MetricsRegistry::global());
+        obsEnd(args);
+        return 0;
+    }
+
+    ropts.replicas = replicas;
     if (chaos_events > 0) {
         // Horizon heuristic: virtual time advances by roughly one
         // per-inference latency per iteration; scale from the SLA-ish
@@ -468,11 +510,10 @@ cmdShard(ArgParser &args)
         chaos = ChaosSchedule::random(
             faults.seed, nodes, replicas.replicas, horizon, chaos_events,
             args.optionDouble("chaos-ms") / 1e3);
+        ropts.chaos = &chaos;
     }
 
-    ReplicatedShardedResult r = sim.runReplicated(
-        /*warmup_iters=*/20, iters, faults, retry, hedge, replicas,
-        chaos_events > 0 ? &chaos : nullptr);
+    RunResult r = sim.run(ropts);
 
     std::printf("  failover layer: %u replicas/shard, router %s, "
                 "breaker %d errors -> open %.1f ms, warm-up %.2fx over "
@@ -496,6 +537,8 @@ cmdShard(ArgParser &args)
                 static_cast<unsigned long long>(r.breakerRejects));
     std::printf("  warm-up cost:  %10.3f ms re-filling recovered "
                 "replicas' caches\n", r.warmupPenaltySeconds * 1e3);
+    r.exportTo(obs::MetricsRegistry::global());
+    obsEnd(args);
     return 0;
 }
 
@@ -516,13 +559,24 @@ cmdEval(ArgParser &args)
 
     for (int i = 0; i < 2; ++i)
         (void)model.forward(input); // warm-up
+    obsBegin(args);
+    obs::LatencyHistogram batch_hist =
+        obs::MetricsRegistry::global().histogram("eval.batch_seconds");
     auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < iters; ++i)
+    for (int i = 0; i < iters; ++i) {
+        auto it0 = std::chrono::steady_clock::now();
         (void)model.forward(input);
+        batch_hist.record(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - it0)
+                              .count());
+    }
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count() /
         static_cast<double>(iters);
+    obs::MetricsRegistry::global()
+        .gauge("eval.throughput_items_per_s")
+        .set(static_cast<double>(batch) / secs);
 
     std::printf("eval %s (rows capped at %lld), batch %lld, "
                 "%d threads:\n",
@@ -533,6 +587,7 @@ cmdEval(ArgParser &args)
                 secs * 1e3);
     std::printf("  throughput: %10.0f items/s\n",
                 static_cast<double>(batch) / secs);
+    obsEnd(args);
     return 0;
 }
 
@@ -648,6 +703,12 @@ main(int argc, char **argv)
                    "replicas backing the serving tier (serve)");
     args.addOption("healthy-replicas", "0",
                    "healthy replicas in the tier (0 = all)");
+    args.addOption("trace-out", "",
+                   "write a Chrome trace-event JSON of the run "
+                   "(serve|shard|eval)");
+    args.addOption("metrics-out", "",
+                   "write the metrics registry as JSON and print the "
+                   "summary table (serve|shard|eval)");
     args.addFlag("admission", "shed items whose wait blows the SLA");
     args.addOption("admit-wait", "0.5", "sheddable wait as SLA fraction");
     args.addOption("degrade-batch", "0",
