@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two bench envelopes (bench::JsonWriter).
+
+Compares a candidate BENCH_*.json against a baseline of the same bench
+and fails when a latency-like metric regresses (grows) or a
+throughput-like metric regresses (shrinks) by more than --threshold.
+
+Rows are joined on identity keys (string fields plus the discrete
+configuration integers: threads, replicas, nodes, batch, m, n, k, seed,
+mtbf_ms, mttr_ms); everything else numeric is treated as a measured
+metric and classified by name:
+
+  lower-is-better : p50|p95|p99|latency|seconds|_ms|wasted|penalty|
+                    failed|timeouts
+  higher-is-better: throughput|goodput|gflops|speedup|efficiency|
+                    availability|items_per_s|inf_s|completed
+
+Unclassified metrics are reported only under --verbose and never gate.
+
+Exit codes: 0 ok, 1 regression (or envelope mismatch), 2 usage/IO
+error.
+
+Examples:
+  bench_diff.py BENCH_failover.json new.json --threshold 0.05
+  bench_diff.py old.json new.json --exact          # bit-identical gate
+  bench_diff.py --self-test                        # built-in check
+"""
+
+import argparse
+import json
+import re
+import sys
+
+LOWER_IS_BETTER = re.compile(
+    r"(p50|p95|p99|latency|seconds|_ms$|_ms_|wasted|penalty|failed|timeouts)")
+HIGHER_IS_BETTER = re.compile(
+    r"(throughput|goodput|gflops|speedup|efficiency|availability|"
+    r"items_per_s|inf_s|completed)")
+
+# Discrete config fields that identify a row rather than measure it.
+IDENTITY_INTS = ("threads", "replicas", "nodes", "batch", "m", "n", "k",
+                 "seed", "mtbf_ms", "mttr_ms", "rows", "dim", "tables",
+                 "pooling")
+
+
+def load_envelope(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    for field in ("schema_version", "bench", "results"):
+        if field not in data:
+            raise SystemExit(f"bench_diff: {path}: missing '{field}' "
+                             "(not a bench envelope?)")
+    return data
+
+
+def row_key(row):
+    """Identity of one result row: all string fields + discrete ints."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str):
+            parts.append((k, v))
+        elif k in IDENTITY_INTS:
+            parts.append((k, v))
+    return tuple(parts)
+
+
+def classify(name):
+    if LOWER_IS_BETTER.search(name):
+        return "lower"
+    if HIGHER_IS_BETTER.search(name):
+        return "higher"
+    return None
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key) or "<single row>"
+
+
+def compare(base, cand, opts):
+    """Returns (failures, warnings, infos) as lists of strings."""
+    failures, warnings, infos = [], [], []
+
+    if base["schema_version"] != cand["schema_version"]:
+        failures.append(
+            f"schema_version mismatch: baseline {base['schema_version']} "
+            f"vs candidate {cand['schema_version']}")
+        return failures, warnings, infos
+    if base["bench"] != cand["bench"]:
+        failures.append(f"bench mismatch: baseline '{base['bench']}' vs "
+                        f"candidate '{cand['bench']}'")
+        return failures, warnings, infos
+    if base.get("config") != cand.get("config"):
+        msg = (f"config drift: baseline {base.get('config')} vs "
+               f"candidate {cand.get('config')}")
+        if opts.allow_config_drift:
+            warnings.append(msg)
+        else:
+            failures.append(msg + " (pass --allow-config-drift to compare "
+                            "anyway)")
+            return failures, warnings, infos
+
+    base_rows = {row_key(r): r for r in base["results"]}
+    cand_rows = {row_key(r): r for r in cand["results"]}
+
+    for key in base_rows:
+        if key not in cand_rows:
+            warnings.append(f"row missing from candidate: {fmt_key(key)}")
+    for key in cand_rows:
+        if key not in base_rows:
+            warnings.append(f"row new in candidate: {fmt_key(key)}")
+
+    for key in sorted(set(base_rows) & set(cand_rows)):
+        b, c = base_rows[key], cand_rows[key]
+        for name in sorted(set(b) & set(c)):
+            bv, cv = b[name], c[name]
+            if isinstance(bv, str) or name in IDENTITY_INTS:
+                continue
+            if not isinstance(bv, (int, float)) or \
+               not isinstance(cv, (int, float)):
+                continue
+            if opts.exact:
+                if bv != cv:
+                    failures.append(f"{fmt_key(key)}: {name} differs "
+                                    f"({bv!r} -> {cv!r}) [--exact]")
+                continue
+            direction = classify(name)
+            if direction is None:
+                if opts.verbose:
+                    infos.append(f"{fmt_key(key)}: {name} unclassified "
+                                 f"({bv} -> {cv}), not gated")
+                continue
+            if bv == 0:
+                # Can't form a ratio; any growth of a lower-is-better
+                # metric from zero is flagged, shrink-from-zero cannot
+                # happen for non-negative metrics.
+                if direction == "lower" and cv > 0:
+                    failures.append(f"{fmt_key(key)}: {name} grew from 0 "
+                                    f"to {cv}")
+                continue
+            rel = (cv - bv) / abs(bv)
+            regressed = (rel > opts.threshold if direction == "lower"
+                         else rel < -opts.threshold)
+            if regressed:
+                msg = (f"{fmt_key(key)}: {name} regressed "
+                       f"{rel * 100.0:+.1f}% ({bv:.6g} -> {cv:.6g}, "
+                       f"threshold {opts.threshold * 100.0:.0f}%)")
+                if direction == "higher" and opts.throughput_warn_only:
+                    warnings.append(msg + " [warn-only]")
+                else:
+                    failures.append(msg)
+            elif opts.verbose:
+                infos.append(f"{fmt_key(key)}: {name} {rel * 100.0:+.1f}% "
+                             f"({bv:.6g} -> {cv:.6g}) ok")
+
+    return failures, warnings, infos
+
+
+def self_test(opts):
+    """Gate sanity check: a perturbed envelope must fail, an identical
+    one must pass. Runs entirely in memory."""
+    base = {
+        "schema_version": 1,
+        "bench": "selftest",
+        "machine": {"host_cores": 1},
+        "config": {"iters": 100},
+        "results": [
+            {"suite": "gemm", "name": "a", "threads": 1,
+             "p99_ms": 2.0, "gflops": 10.0, "seconds_per_iter": 1e-3},
+            {"suite": "gemm", "name": "a", "threads": 2,
+             "p99_ms": 1.5, "gflops": 18.0, "seconds_per_iter": 6e-4},
+        ],
+    }
+    ns = argparse.Namespace(threshold=0.10, exact=False,
+                            throughput_warn_only=False,
+                            allow_config_drift=False, verbose=False)
+
+    identical = json.loads(json.dumps(base))
+    f, w, _ = compare(base, identical, ns)
+    assert not f and not w, f"identical envelopes flagged: {f + w}"
+
+    exact_f, _, _ = compare(base, identical,
+                            argparse.Namespace(**{**vars(ns), "exact": True}))
+    assert not exact_f, f"identical envelopes failed --exact: {exact_f}"
+
+    worse = json.loads(json.dumps(base))
+    worse["results"][0]["p99_ms"] *= 1.5       # +50% p99
+    worse["results"][1]["gflops"] *= 0.5       # -50% throughput
+    f, _, _ = compare(base, worse, ns)
+    assert any("p99_ms" in m for m in f), f"missed p99 regression: {f}"
+    assert any("gflops" in m for m in f), f"missed gflops regression: {f}"
+
+    # Throughput regressions demote to warnings under
+    # --throughput-warn-only, latency ones still fail.
+    f, w, _ = compare(base, worse,
+                      argparse.Namespace(**{**vars(ns),
+                                            "throughput_warn_only": True}))
+    assert any("p99_ms" in m for m in f), "p99 must hard-fail"
+    assert not any("gflops" in m for m in f), "gflops should be warn-only"
+    assert any("gflops" in m for m in w), "gflops warning missing"
+
+    # Small noise below threshold passes.
+    noisy = json.loads(json.dumps(base))
+    noisy["results"][0]["p99_ms"] *= 1.05
+    f, _, _ = compare(base, noisy, ns)
+    assert not f, f"5% noise failed 10% gate: {f}"
+
+    # Schema / bench / config mismatches are hard failures.
+    other = json.loads(json.dumps(base))
+    other["bench"] = "different"
+    f, _, _ = compare(base, other, ns)
+    assert f, "bench mismatch not flagged"
+    drift = json.loads(json.dumps(base))
+    drift["config"]["iters"] = 200
+    f, _, _ = compare(base, drift, ns)
+    assert f, "config drift not flagged"
+    f, w, _ = compare(base, drift,
+                      argparse.Namespace(**{**vars(ns),
+                                            "allow_config_drift": True}))
+    assert not f and w, "--allow-config-drift should warn, not fail"
+
+    print("bench_diff self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare two bench envelopes and fail on regression")
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression tolerance (default 0.10)")
+    ap.add_argument("--exact", action="store_true",
+                    help="require bit-identical numeric fields "
+                         "(determinism gate)")
+    ap.add_argument("--throughput-warn-only", action="store_true",
+                    help="demote higher-is-better regressions to warnings "
+                         "(noisy shared runners)")
+    ap.add_argument("--allow-config-drift", action="store_true",
+                    help="warn instead of fail when config blocks differ")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also print passing and unclassified metrics")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in gate sanity check and exit")
+    opts = ap.parse_args()
+
+    if opts.self_test:
+        return self_test(opts)
+    if not opts.baseline or not opts.candidate:
+        ap.error("baseline and candidate envelopes are required")
+
+    base = load_envelope(opts.baseline)
+    cand = load_envelope(opts.candidate)
+    failures, warnings, infos = compare(base, cand, opts)
+
+    for msg in infos:
+        print(f"info: {msg}")
+    for msg in warnings:
+        print(f"warning: {msg}")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+
+    shared = len({row_key(r) for r in base["results"]} &
+                 {row_key(r) for r in cand["results"]})
+    if failures:
+        print(f"bench_diff: {len(failures)} regression(s) across {shared} "
+              f"compared row(s)")
+        return 1
+    print(f"bench_diff: OK ({shared} row(s) compared, "
+          f"{len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,13 @@ Checks, in order:
      worker "batch" spans; the summed op time must match the summed
      batch time within --tolerance (default 1%, the PR's acceptance
      bound).
-  4. Metrics (when a metrics JSON is given): schema_version 1, the
+  4. Counters: per (tid, name) counter track ('C' events) timestamps
+     are monotone non-decreasing and every value is finite and
+     non-negative; with a metrics JSON, the final value of each track
+     must agree with the exported counter/gauge of the same name
+     (small absolute slack for float formatting). Traces without
+     counter events still pass -- emission is opt-in.
+  5. Metrics (when a metrics JSON is given): schema_version 1, the
      counters/gauges/histograms sections exist, histogram percentiles
      are ordered, and serving.batches.total agrees with the number of
      batch spans in the trace.
@@ -48,6 +54,7 @@ def check_schema(trace):
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
     spans = []
+    counters = []
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph == "M":
@@ -62,11 +69,13 @@ def check_schema(trace):
             if dur is None or not math.isfinite(dur) or dur < 0:
                 fail(f"complete event {i} has bad dur: {ev}")
             spans.append(ev)
-        elif ph not in ("i", "C"):
+        elif ph == "C":
+            counters.append(ev)
+        elif ph != "i":
             fail(f"event {i} has unknown ph '{ph}'")
     if not spans:
         fail("no complete ('X') spans in trace")
-    return spans
+    return spans, counters
 
 
 def check_nesting(spans):
@@ -108,6 +117,44 @@ def check_reconciliation(spans, tolerance):
     return rel
 
 
+def check_counters(counters, metrics):
+    """Validate counter ('C') tracks; returns the number of tracks.
+
+    A track is one (tid, name) series. Within a track timestamps must
+    be monotone non-decreasing (counters ride the virtual clock, which
+    only moves forward) and every value finite and non-negative. When
+    a metrics JSON is supplied, the last value of a track whose name
+    is also an exported counter or gauge must agree with it -- the
+    final trace emission and the registry export read the same totals.
+    """
+    tracks = {}
+    for ev in counters:
+        value = ev.get("args", {}).get("value")
+        if value is None or not isinstance(value, (int, float)) \
+                or not math.isfinite(value) or value < 0:
+            fail(f"counter '{ev['name']}' has bad value "
+                 f"{value!r} at ts {ev['ts']}")
+        key = (ev["tid"], ev["name"])
+        prev = tracks.get(key)
+        if prev is not None and ev["ts"] < prev[0] - SLACK_US:
+            fail(f"counter track {key}: ts went backwards "
+                 f"({prev[0]:.3f} -> {ev['ts']:.3f})")
+        tracks[key] = (ev["ts"], value)
+
+    if metrics is not None:
+        exported = {}
+        exported.update(metrics.get("counters", {}))
+        exported.update(metrics.get("gauges", {}))
+        for (tid, name), (_, last) in tracks.items():
+            want = exported.get(name)
+            if want is None:
+                continue  # trace-only track (not every track exports)
+            if abs(last - want) > max(1.5, 1e-6 * abs(want)):
+                fail(f"counter '{name}' (tid {tid}) ends at {last} but "
+                     f"metrics export says {want}")
+    return len(tracks)
+
+
 def check_metrics(metrics, spans):
     if metrics.get("schema_version") != 1:
         fail(f"metrics schema_version is "
@@ -140,14 +187,17 @@ def main():
     args = ap.parse_args()
 
     trace = load_json(args.trace)
-    spans = check_schema(trace)
+    spans, counters = check_schema(trace)
     nested = check_nesting(spans)
     rel = check_reconciliation(spans, args.tolerance)
-    if args.metrics:
-        check_metrics(load_json(args.metrics), spans)
+    metrics = load_json(args.metrics) if args.metrics else None
+    tracks = check_counters(counters, metrics)
+    if metrics is not None:
+        check_metrics(metrics, spans)
     print(f"check_trace: OK ({len(spans)} spans, {nested} nesting-checked, "
-          f"op/batch reconcile within {rel * 100:.3f}%"
-          f"{', metrics ok' if args.metrics else ''})")
+          f"op/batch reconcile within {rel * 100:.3f}%, "
+          f"{len(counters)} counter events on {tracks} track(s)"
+          f"{', metrics ok' if metrics is not None else ''})")
 
 
 if __name__ == "__main__":

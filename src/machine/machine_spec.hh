@@ -105,6 +105,28 @@ struct MachineSpec
     /** Core cycles per second. */
     double cyclesPerSecond() const { return freqGHz * 1e9; }
 
+    /**
+     * Single-core peak arithmetic throughput in GFLOP/s — the flat
+     * compute roof of the roofline model (the paper times one MKL
+     * thread per model instance, so the per-core roof is the relevant
+     * one).
+     */
+    double peakGflops() const
+    {
+        return simd.peakFlopsPerCycle() * freqGHz;
+    }
+
+    /**
+     * Arithmetic intensity (FLOPs/byte) where the compute roof meets
+     * the streaming-DRAM roof. Operators left of the ridge are
+     * memory-bound (SLS), right of it compute-bound (large FC).
+     */
+    double ridgeIntensity() const
+    {
+        double stream = dram.streamGBps();
+        return stream > 0.0 ? peakGflops() / stream : 0.0;
+    }
+
     /** Idle DRAM latency expressed in core cycles. */
     uint32_t dramLatencyCycles() const;
 

@@ -87,7 +87,7 @@ LatencyHistogram::bucketMidpoint(size_t i)
 double
 HistogramSnapshot::percentile(double pct) const
 {
-    if (count == 0)
+    if (count == 0 || buckets.empty())
         return 0.0;
     pct = std::clamp(pct, 0.0, 100.0);
     // Rank of the requested percentile among `count` ordered samples
@@ -227,6 +227,16 @@ MetricsRegistry::setGauge(uint32_t id, double v, bool accumulate)
 void
 MetricsRegistry::recordHistogram(uint32_t id, double seconds)
 {
+    // A NaN or infinite sample would poison sum/min/max permanently
+    // (NaN propagates through every later merge); negatives have no
+    // latency meaning. NaN and negatives clamp to zero (bucket 0);
+    // +inf saturates to the histogram's top of range so an "infinite"
+    // latency still reads as huge rather than as instantaneous.
+    if (std::isnan(seconds) || seconds < 0.0)
+        seconds = 0.0;
+    else if (std::isinf(seconds))
+        seconds = LatencyHistogram::bucketMidpoint(
+            LatencyHistogram::kNumBuckets - 1);
     Shard::Hist &h = shard()->hists[id];
     uint64_t n = h.count.load(std::memory_order_relaxed);
     if (n == 0 || seconds < h.min.load(std::memory_order_relaxed))

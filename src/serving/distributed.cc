@@ -4,6 +4,8 @@
 
 #include "core/logging.hh"
 #include "core/stats.hh"
+#include "obs/hw_counters.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace recperf {
@@ -195,6 +197,15 @@ ShardedInference::run(const RunOptions &options)
             tracer.nameLane(1 + s, strprintf("shard %u", s));
     }
 
+    // Measurement starts here: drop warm-up/calibration telemetry and
+    // anchor the time-series cadence at virtual t = 0.
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    if (telem.enabled())
+        telem.reset();
+    obs::TimeSeriesSampler &sampler = obs::TimeSeriesSampler::global();
+    if (sampler.enabled())
+        sampler.reset();
+
     double now = 0.0;
     double sum_slowest = 0.0;
     double sum_agg = 0.0;
@@ -242,6 +253,7 @@ ShardedInference::run(const RunOptions &options)
             sum_slowest += slowest;
             sum_agg += agg_seconds;
             now += total;
+            sampler.observeItem(now, total, false);
         } else {
             // The aggregator abandons the inference once the slowest
             // shard exhausts its retries; no result is produced.
@@ -252,7 +264,13 @@ ShardedInference::run(const RunOptions &options)
                                now + elapsed_max, 0);
             }
             now += elapsed_max + network;
+            sampler.observeItem(now, elapsed_max + network, true);
         }
+        // `now` only moves forward, so the counter tracks carry
+        // monotone virtual timestamps.
+        if (telem.enabled())
+            telem.emitCounters(tracer, now, 0);
+        sampler.tick(now);
     }
     result.duration = now;
 
@@ -274,15 +292,6 @@ ShardedInference::run(const RunOptions &options)
     result.totalSeconds = result.slowestShardSeconds +
         result.networkSeconds + result.aggregatorSeconds;
     return result;
-}
-
-ShardedResult
-ShardedInference::run(int warmup_iters, int measure_iters)
-{
-    RunOptions options;
-    options.warmupIters = warmup_iters;
-    options.measureIters = measure_iters;
-    return run(options).breakdown();
 }
 
 double
@@ -501,40 +510,6 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
         }
     }
     return {waited, false};
-}
-
-ResilientShardedResult
-ShardedInference::runResilient(int warmup_iters, int measure_iters,
-                               const FaultOptions &faults,
-                               const RetryPolicy &retry,
-                               const HedgePolicy &hedge)
-{
-    RunOptions options;
-    options.warmupIters = warmup_iters;
-    options.measureIters = measure_iters;
-    options.faults = faults;
-    options.retry = retry;
-    options.hedge = hedge;
-    return run(options);
-}
-
-ReplicatedShardedResult
-ShardedInference::runReplicated(int warmup_iters, int measure_iters,
-                                const FaultOptions &faults,
-                                const RetryPolicy &retry,
-                                const HedgePolicy &hedge,
-                                const ReplicaOptions &replicas,
-                                const ChaosSchedule *chaos)
-{
-    RunOptions options;
-    options.warmupIters = warmup_iters;
-    options.measureIters = measure_iters;
-    options.faults = faults;
-    options.retry = retry;
-    options.hedge = hedge;
-    options.replicas = replicas;
-    options.chaos = chaos;
-    return run(options);
 }
 
 } // namespace recperf

@@ -127,10 +127,9 @@ struct ReplicatedShardedResult : ResilientShardedResult
 };
 
 /**
- * Configuration of one sharded closed-loop run — the single entry point
- * subsuming the legacy run/runResilient/runReplicated trio. The
- * defaults describe a clean run: no faults, no hedging, no replica
- * layer. Turning knobs composes: any FaultOptions activates the fault
+ * Configuration of one sharded closed-loop run — the single entry
+ * point. The defaults describe a clean run: no faults, no hedging, no
+ * replica layer. Turning knobs composes: any FaultOptions activates the fault
  * schedule, engaging `replicas` activates the replica/failover layer
  * (breakers, health routing, warm-up — even with replicas.replicas ==
  * 1, which exercises that machinery without a failover target), and
@@ -252,29 +251,6 @@ class ShardedInference
      * is bit-identical to the legacy plain run.
      */
     RunResult run(const RunOptions &options);
-
-    /** @deprecated Legacy entry point; use run(const RunOptions&). */
-    [[deprecated("use run(const RunOptions&)")]]
-    ShardedResult run(int warmup_iters, int measure_iters);
-
-    /** @deprecated Legacy entry point; use run(const RunOptions&). */
-    [[deprecated("use run(const RunOptions&)")]]
-    ResilientShardedResult runResilient(int warmup_iters,
-                                        int measure_iters,
-                                        const FaultOptions &faults,
-                                        const RetryPolicy &retry,
-                                        const HedgePolicy &hedge);
-
-    /** @deprecated Legacy entry point; use run(const RunOptions&). */
-    [[deprecated("use run(const RunOptions&)")]]
-    ReplicatedShardedResult runReplicated(int warmup_iters,
-                                          int measure_iters,
-                                          const FaultOptions &faults,
-                                          const RetryPolicy &retry,
-                                          const HedgePolicy &hedge,
-                                          const ReplicaOptions &replicas,
-                                          const ChaosSchedule *chaos =
-                                              nullptr);
 
     uint32_t numNodes() const;
 

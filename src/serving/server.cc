@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "core/logging.hh"
+#include "obs/hw_counters.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace recperf {
@@ -267,6 +269,15 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         }
     }
 
+    // The measurement window starts here: drop constructor warm-up
+    // telemetry and anchor the time-series cadence at t = 0.
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    if (telem.enabled())
+        telem.reset();
+    obs::TimeSeriesSampler &sampler = obs::TimeSeriesSampler::global();
+    if (sampler.enabled())
+        sampler.reset();
+
     std::priority_queue<WorkerSlot, std::vector<WorkerSlot>,
                         std::greater<>> free_at;
     for (size_t w = 0; w < workers_.size(); ++w)
@@ -358,17 +369,31 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                          {"degraded", degraded ? "true" : "false"}});
         }
 
+        // Counter events ride the batch start timestamp, which the
+        // min-heap keeps monotonically non-decreasing — so counter
+        // tracks stay valid Chrome-trace series and bit-identical
+        // across host thread counts.
+        if (telem.enabled())
+            telem.emitCounters(tracer, start, 0);
+        sampler.tick(start);
+
         for (double arrival : batch_arrivals) {
             double latency = finish - arrival;
             stats.itemLatency.add(latency);
-            if (latency <= options_.slaSeconds)
-                ++stats.slaMet;
-            else
+            bool violated = latency > options_.slaSeconds;
+            if (violated)
                 ++stats.slaMissed;
+            else
+                ++stats.slaMet;
+            sampler.observeItem(finish, latency, violated);
         }
         last_finish = std::max(last_finish, finish);
         free_at.emplace(finish, w);
     }
+
+    if (telem.enabled())
+        telem.emitCounters(tracer, last_finish, 0);
+    sampler.tick(last_finish);
 
     stats.duration = last_finish;
     return stats;

@@ -39,6 +39,17 @@ struct CacheStats
     {
         *this = CacheStats();
     }
+
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        accesses += o.accesses;
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+        backInvalidations += o.backInvalidations;
+        return *this;
+    }
 };
 
 /**

@@ -149,6 +149,18 @@ CacheHierarchy::flushAll()
     l3_->flush();
 }
 
+HierarchyCounters
+CacheHierarchy::counters() const
+{
+    HierarchyCounters agg;
+    for (const auto &c : l1s_)
+        agg.l1 += c->stats();
+    for (const auto &c : l2s_)
+        agg.l2 += c->stats();
+    agg.l3 += l3_->stats();
+    return agg;
+}
+
 void
 CacheHierarchy::resetStats()
 {

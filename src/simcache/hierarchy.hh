@@ -68,6 +68,19 @@ struct PrefetchConfig
 };
 
 /**
+ * Aggregated per-level statistics of one hierarchy: every core's
+ * private L1s (and L2s) summed, plus the shared LLC. This is the
+ * hardware-counter view the telemetry layer exports — per-level
+ * hits/misses/back-invalidations feeding the MPKI gauges.
+ */
+struct HierarchyCounters
+{
+    CacheStats l1; ///< summed over all cores' private L1s
+    CacheStats l2; ///< summed over all cores' private L2s
+    CacheStats l3; ///< the shared LLC
+};
+
+/**
  * Three-level hierarchy: per-core private L1 and L2, shared L3.
  */
 class CacheHierarchy
@@ -105,6 +118,9 @@ class CacheHierarchy
 
     /** Sum of misses seen by the shared LLC. */
     uint64_t llcMisses() const { return l3_->stats().misses; }
+
+    /** Cumulative per-level statistics aggregated across all cores. */
+    HierarchyCounters counters() const;
 
     /** Drop all cached lines (stats preserved). */
     void flushAll();

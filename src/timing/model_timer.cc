@@ -5,6 +5,7 @@
 
 #include "core/aligned.hh"
 #include "core/logging.hh"
+#include "obs/hw_counters.hh"
 
 namespace recperf {
 
@@ -175,6 +176,10 @@ ModelTimer::timeFc(const std::string &name, int64_t in, int64_t out)
     t.instructions = vectorInstructions(flops, weight_bytes + act_bytes,
                                         simdLanes(machine_.simd.isa)) +
         machine_.dispatchCyclesFor(t.kind);
+    t.cost.flops = flops;
+    t.cost.bytesRead = weight_bytes +
+        static_cast<double>(options_.batch * in) * 4.0;
+    t.cost.bytesWritten = static_cast<double>(options_.batch * out) * 4.0;
 
     double dram_bytes = refetch_frac * weight_bytes +
         (level == HitLevel::Memory ? weight_bytes : 0.0);
@@ -249,6 +254,13 @@ ModelTimer::timeSls(size_t table_index)
             (static_cast<double>(dim) / simdLanes(machine_.simd.isa) * 2.0 +
              8.0) +
         machine_.dispatchCyclesFor(t.kind);
+    t.cost.flops = flops;
+    // Row reads plus 8 B of sparse-ID metadata per row; one pooled
+    // output vector per sample.
+    t.cost.bytesRead = static_cast<double>(rows) *
+        (static_cast<double>(row_bytes) + 8.0);
+    t.cost.bytesWritten = static_cast<double>(options_.batch) *
+        static_cast<double>(dim) * 4.0;
 
     double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
     t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
@@ -267,6 +279,8 @@ ModelTimer::timeConcat()
     t.memorySeconds = machine_.streamSeconds(HitLevel::L2, bytes);
     t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
     t.instructions = bytes / 32.0 + machine_.dispatchCyclesFor(t.kind);
+    t.cost.bytesRead = bytes * 0.5;
+    t.cost.bytesWritten = bytes * 0.5;
     double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
     t.seconds = (t.memorySeconds + t.dispatchSeconds) * ht;
     return t;
@@ -300,6 +314,11 @@ ModelTimer::timeBatchMM()
     t.instructions = vectorInstructions(flops, bytes,
                                         simdLanes(machine_.simd.isa)) +
         machine_.dispatchCyclesFor(t.kind);
+    t.cost.flops = flops;
+    t.cost.bytesRead = static_cast<double>(options_.batch) *
+        static_cast<double>(f * d) * 4.0;
+    t.cost.bytesWritten = static_cast<double>(options_.batch) *
+        static_cast<double>(f * f) * 4.0;
 
     double ht = options_.hyperthreading ? kHtFcPenalty : 1.0;
     t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
@@ -330,6 +349,9 @@ ModelTimer::timeActivation(const std::string &name, int64_t elements)
     t.instructions = vectorInstructions(flops, bytes,
                                         simdLanes(machine_.simd.isa)) +
         machine_.dispatchCyclesFor(t.kind);
+    t.cost.flops = flops;
+    t.cost.bytesRead = flops * 4.0;
+    t.cost.bytesWritten = flops * 4.0;
     double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
     t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
                  t.dispatchSeconds) * ht;
@@ -340,6 +362,13 @@ ModelTiming
 ModelTimer::run()
 {
     ModelTiming timing;
+
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    if (telem.enabled()) {
+        // Fold any pre-existing activity on this hierarchy into the
+        // baseline so only this run's accesses land in the delta.
+        telem.sampleHierarchy(*hier_);
+    }
 
     int64_t in = config_.denseFeatures;
     for (size_t i = 0; i < config_.bottomMlp.size(); ++i) {
@@ -369,6 +398,11 @@ ModelTimer::run()
 
     last_dram_bytes_ = static_cast<double>(timing.dramLines()) *
         kCacheLineBytes;
+
+    if (telem.enabled()) {
+        recordTelemetry(telem, machine_, timing);
+        telem.sampleHierarchy(*hier_);
+    }
     return timing;
 }
 
@@ -378,6 +412,10 @@ ModelTimer::steadyState(int warmup_iters, int measure_iters)
     RP_ASSERT(measure_iters > 0, "need at least one measured iteration");
     for (int i = 0; i < warmup_iters; ++i)
         run();
+    // Telemetry should describe steady state, not the warm-up ramp.
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    if (telem.enabled())
+        telem.reset();
     ModelTiming avg;
     for (int i = 0; i < measure_iters; ++i)
         avg.accumulate(run());

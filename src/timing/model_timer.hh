@@ -115,6 +115,9 @@ class ModelTimer
     /** DRAM bytes this tenant filled during its most recent run(). */
     double lastDramBytes() const { return last_dram_bytes_; }
 
+    /** The hierarchy this timer's gathers run through (owned or shared). */
+    const CacheHierarchy *hierarchy() const { return hier_; }
+
   private:
     OpTiming timeFc(const std::string &name, int64_t in, int64_t out);
     OpTiming timeSls(size_t table_index);

@@ -1,5 +1,8 @@
 #include "timing/op_timing.hh"
 
+#include "machine/machine_spec.hh"
+#include "obs/hw_counters.hh"
+
 namespace recperf {
 
 double
@@ -65,6 +68,32 @@ ModelTiming::dramLines() const
     return lines;
 }
 
+OpCost
+ModelTiming::totalCost() const
+{
+    OpCost total;
+    for (const OpTiming &op : ops)
+        total += op.cost;
+    return total;
+}
+
+OpCost
+ModelTiming::costByKind(OpKind kind) const
+{
+    OpCost total;
+    for (const OpTiming &op : ops) {
+        if (op.kind == kind)
+            total += op.cost;
+    }
+    return total;
+}
+
+double
+ModelTiming::arithmeticIntensity() const
+{
+    return totalCost().intensity();
+}
+
 void
 ModelTiming::accumulate(const ModelTiming &other)
 {
@@ -86,6 +115,7 @@ ModelTiming::accumulate(const ModelTiming &other)
         dst.memorySeconds += src.memorySeconds;
         dst.dispatchSeconds += src.dispatchSeconds;
         dst.instructions += src.instructions;
+        dst.cost += src.cost;
         dst.l1Lines += src.l1Lines;
         dst.l2Lines += src.l2Lines;
         dst.l3Lines += src.l3Lines;
@@ -118,10 +148,40 @@ ModelTiming::scale(double inv_n)
         op.memorySeconds *= inv_n;
         op.dispatchSeconds *= inv_n;
         op.instructions *= inv_n;
+        op.cost.flops *= inv_n;
+        op.cost.bytesRead *= inv_n;
+        op.cost.bytesWritten *= inv_n;
         op.l1Lines = static_cast<uint64_t>(op.l1Lines * inv_n);
         op.l2Lines = static_cast<uint64_t>(op.l2Lines * inv_n);
         op.l3Lines = static_cast<uint64_t>(op.l3Lines * inv_n);
         op.dramLines = static_cast<uint64_t>(op.dramLines * inv_n);
+    }
+}
+
+void
+recordTelemetry(obs::HwTelemetry &telemetry, const MachineSpec &machine,
+                const ModelTiming &timing)
+{
+    obs::RooflineSpec roof;
+    roof.machine = machine.name;
+    roof.peakGflops = machine.peakGflops();
+    roof.streamGBps = machine.dram.streamGBps();
+    roof.gatherGBps = machine.dram.gatherGBps();
+    telemetry.setRoofline(roof);
+
+    for (const OpTiming &op : timing.ops) {
+        obs::OpRecord rec;
+        rec.kindName = opKindName(op.kind);
+        rec.seconds = op.seconds;
+        rec.flops = op.cost.flops;
+        rec.bytesRead = op.cost.bytesRead;
+        rec.bytesWritten = op.cost.bytesWritten;
+        rec.instructions = op.instructions;
+        rec.l1Lines = op.l1Lines;
+        rec.l2Lines = op.l2Lines;
+        rec.l3Lines = op.l3Lines;
+        rec.dramLines = op.dramLines;
+        telemetry.recordOp(rec);
     }
 }
 

@@ -16,6 +16,10 @@
 
 namespace recperf {
 
+namespace obs {
+class HwTelemetry;
+} // namespace obs
+
 /** Timing and memory-behaviour record for one operator invocation. */
 struct OpTiming
 {
@@ -29,6 +33,12 @@ struct OpTiming
 
     /** Estimated dynamic instructions (for MPKI metrics). */
     double instructions = 0.0;
+
+    /**
+     * Algorithmic work: FLOPs executed and bytes moved (before cache
+     * filtering). Feeds the arithmetic-intensity / roofline telemetry.
+     */
+    OpCost cost;
 
     /** Cache lines serviced per level (SLS uses the real simulator). */
     uint64_t l1Lines = 0;
@@ -63,6 +73,15 @@ struct ModelTiming
     /** DRAM lines touched. */
     uint64_t dramLines() const;
 
+    /** Summed FLOPs / bytes across every operator. */
+    OpCost totalCost() const;
+
+    /** Summed FLOPs / bytes of one operator kind. */
+    OpCost costByKind(OpKind kind) const;
+
+    /** FLOPs per byte moved across the whole inference. */
+    double arithmeticIntensity() const;
+
     /** Merge another inference's records (for aggregation). */
     void accumulate(const ModelTiming &other);
 
@@ -81,6 +100,19 @@ struct ModelTiming
  */
 double emitOpSpans(obs::Tracer &tracer, const ModelTiming &timing,
                    double t0, uint32_t tid, double scale = 1.0);
+
+struct MachineSpec;
+
+/**
+ * Push one inference's hardware-model counters into @p telemetry: the
+ * machine's roofline envelope (peak GFLOP/s, stream/gather bandwidth)
+ * plus, per operator, modeled seconds, FLOPs, bytes moved,
+ * instructions, and per-level cache lines. Callers gate on
+ * HwTelemetry::enabled() so the disabled path stays one relaxed load.
+ */
+void recordTelemetry(obs::HwTelemetry &telemetry,
+                     const MachineSpec &machine,
+                     const ModelTiming &timing);
 
 } // namespace recperf
 

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "core/thread_pool.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
+#include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serving/server.hh"
@@ -260,6 +262,76 @@ TEST(Metrics, BucketRoundTripStaysWithinHalfSubBucket)
     }
 }
 
+TEST(Metrics, EmptyHistogramReportsZeroesEverywhere)
+{
+    obs::MetricsRegistry reg;
+    (void)reg.histogram("never.recorded");
+    obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *h = snap.histogram("never.recorded");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 0u);
+    EXPECT_DOUBLE_EQ(h->mean(), 0.0);
+    for (double pct : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h->percentile(pct), 0.0) << "p" << pct;
+}
+
+TEST(Metrics, SingleSampleHistogramPinsEveryPercentile)
+{
+    obs::MetricsRegistry reg;
+    obs::LatencyHistogram hist = reg.histogram("one");
+    hist.record(3.7e-4);
+    obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *h = snap.histogram("one");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    // With one sample min == max == the sample; percentiles clamp to
+    // that range instead of reporting a bucket midpoint.
+    for (double pct : {1.0, 50.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(h->percentile(pct), 3.7e-4) << "p" << pct;
+    EXPECT_DOUBLE_EQ(h->min, 3.7e-4);
+    EXPECT_DOUBLE_EQ(h->max, 3.7e-4);
+}
+
+TEST(Metrics, AboveTopBucketValuesClampToLastBucket)
+{
+    // 2^40 ns (~18 min) is the histogram's top octave; an hour-long
+    // "latency" must land in the last bucket, not index out of range.
+    size_t top = obs::LatencyHistogram::bucketIndex(3600.0);
+    EXPECT_EQ(top, obs::LatencyHistogram::kNumBuckets - 1);
+
+    obs::MetricsRegistry reg;
+    obs::LatencyHistogram hist = reg.histogram("huge");
+    hist.record(3600.0);
+    hist.record(7200.0);
+    obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *h = snap.histogram("huge");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+    // Percentiles clamp to the recorded [min, max], so the saturated
+    // bucket midpoint never exaggerates past the true maximum.
+    EXPECT_LE(h->percentile(99.0), 7200.0);
+    EXPECT_GE(h->percentile(1.0), 3600.0);
+}
+
+TEST(Metrics, NonFiniteAndNegativeSamplesAreSanitized)
+{
+    obs::MetricsRegistry reg;
+    obs::LatencyHistogram hist = reg.histogram("dirty");
+    hist.record(std::nan(""));
+    hist.record(-1.0);
+    hist.record(std::numeric_limits<double>::infinity());
+    hist.record(2e-6);
+    obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *h = snap.histogram("dirty");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 4u);
+    // NaN/negative collapse to 0 instead of poisoning sum/min/max;
+    // +inf saturates into the top bucket rather than breaking mean().
+    EXPECT_DOUBLE_EQ(h->min, 0.0);
+    EXPECT_TRUE(std::isfinite(h->mean()));
+    EXPECT_TRUE(std::isfinite(h->percentile(99.0)));
+}
+
 TEST(Metrics, JsonAndTableAreWellFormed)
 {
     obs::MetricsRegistry reg;
@@ -435,6 +507,72 @@ TEST(Trace, VirtualTimeTraceIsDeterministicAcrossThreadCounts)
         EXPECT_EQ(one[i].tid, four[i].tid) << "event " << i;
         EXPECT_EQ(one[i].tsUs, four[i].tsUs) << "event " << i;
         EXPECT_EQ(one[i].durUs, four[i].durUs) << "event " << i;
+    }
+}
+
+std::vector<obs::TraceEvent>
+counterServeTrace(int threads)
+{
+    int original = globalThreadCount();
+    setGlobalThreadCount(threads);
+    obs::Tracer &tracer = obs::Tracer::global();
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    tracer.clear();
+    telem.reset();
+    tracer.setEnabled(true);
+    telem.setEnabled(true);
+    ServerOptions opts;
+    opts.numWorkers = 2;
+    opts.maxBatch = 8;
+    opts.slaSeconds = 0.01;
+    Server server(broadwell(), rmc1Small(), TimerOptions{}, opts);
+    (void)server.runOpenLoop(3000.0, 300);
+    telem.setEnabled(false);
+    tracer.setEnabled(false);
+    setGlobalThreadCount(original);
+
+    std::vector<obs::TraceEvent> counter_events;
+    for (const obs::TraceEvent &ev : tracer.snapshot()) {
+        if (ev.ph == 'C' && ev.tid < obs::Tracer::kWallTidBase)
+            counter_events.push_back(ev);
+    }
+    tracer.clear();
+    telem.reset();
+    return counter_events;
+}
+
+TEST(Trace, CounterTraceIsDeterministicAcrossThreadCounts)
+{
+    // Acceptance: hardware-counter events ride the virtual clock, so
+    // the emitted series -- names, lanes, timestamps, and values --
+    // must be bit-identical whether the host uses 1 thread or 4.
+    std::vector<obs::TraceEvent> one = counterServeTrace(1);
+    std::vector<obs::TraceEvent> four = counterServeTrace(4);
+    ASSERT_FALSE(one.empty());
+    ASSERT_EQ(one.size(), four.size());
+    double prev_ts = 0.0;
+    std::map<std::string, double> last_value;
+    for (size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].name, four[i].name) << "event " << i;
+        EXPECT_EQ(one[i].tid, four[i].tid) << "event " << i;
+        EXPECT_EQ(one[i].tsUs, four[i].tsUs) << "event " << i;
+        ASSERT_EQ(one[i].args.size(), 1u);
+        ASSERT_EQ(four[i].args.size(), 1u);
+        EXPECT_EQ(one[i].args[0].second, four[i].args[0].second)
+            << "event " << i << " (" << one[i].name << ")";
+
+        // Per-track invariants check_trace.py enforces on artifacts:
+        // monotone timestamps, and non-decreasing values for the
+        // cumulative tracks (MPKI is a ratio gauge, free to dip).
+        EXPECT_GE(one[i].tsUs, prev_ts) << "event " << i;
+        prev_ts = one[i].tsUs;
+        if (one[i].name.find("mpki") == std::string::npos) {
+            double value = std::stod(one[i].args[0].second);
+            auto it = last_value.find(one[i].name);
+            if (it != last_value.end())
+                EXPECT_GE(value, it->second) << one[i].name;
+            last_value[one[i].name] = value;
+        }
     }
 }
 

@@ -16,12 +16,20 @@
  *   trace     report the unique-ID fraction of a trace profile
  *   eval      execute the real tensor model (thread-pool hot path)
  *             and report measured throughput
+ *   report    render a run report (latency percentiles, operator
+ *             breakdown, cache MPKI, roofline placement, SLO burn)
+ *             from saved --metrics-out/--trace-out/--timeseries-out
+ *             artifacts
  *   zoo       list the model zoo and machine fleet
  *
  * The global --threads flag (or RECPERF_THREADS) sizes the worker
- * pool used by every tensor kernel. serve/shard/eval accept
+ * pool used by every tensor kernel. time/serve/shard/eval accept
  * --trace-out=<file> (Chrome trace-event JSON; open in Perfetto) and
  * --metrics-out=<file> (metrics-registry JSON plus a summary table).
+ * --counters turns on the hardware-model telemetry (FLOPs, bytes,
+ * per-level cache stats, roofline gauges) and --timeseries-out=<file>
+ * additionally samples it on a fixed virtual-time cadence into JSONL
+ * (--timeseries-interval-ms sets the cadence).
  *
  * Examples:
  *   recperf time --model rmc2 --machine skylake --batch 64
@@ -46,7 +54,10 @@
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
 #include "model/rec_model.hh"
+#include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
@@ -61,6 +72,9 @@
 using namespace recperf;
 
 namespace {
+
+void obsBegin(ArgParser &args);
+void obsEnd(ArgParser &args);
 
 ModelConfig
 modelByName(const std::string &name)
@@ -100,6 +114,7 @@ machineByName(const std::string &name)
 int
 cmdTime(ArgParser &args)
 {
+    obsBegin(args);
     ModelConfig cfg = modelByName(args.option("model"));
     MachineSpec machine = machineByName(args.option("machine"));
     TimerOptions opts;
@@ -124,6 +139,7 @@ cmdTime(ArgParser &args)
         std::printf("    %-11s %8.3f ms (%5.1f%%)\n", opKindName(kind),
                     secs * 1e3, 100.0 * secs / t.totalSeconds());
     }
+    obsEnd(args);
     return 0;
 }
 
@@ -332,9 +348,11 @@ validateServingArgs(ArgParser &args, const std::string &command)
 }
 
 /**
- * Observability plumbing shared by serve/shard/eval: --trace-out
- * enables the tracer for the run, --metrics-out writes the drained
- * registry as JSON (plus a summary table on stdout).
+ * Observability plumbing shared by time/serve/shard/eval: --trace-out
+ * enables the tracer for the run, --counters / --timeseries-out turn
+ * on the hardware-model telemetry (and its virtual-time sampler), and
+ * --metrics-out writes the drained registry as JSON (plus a summary
+ * table on stdout).
  */
 void
 obsBegin(ArgParser &args)
@@ -344,11 +362,41 @@ obsBegin(ArgParser &args)
         obs::Tracer::global().clear();
         obs::Tracer::global().setEnabled(true);
     }
+    bool want_timeseries = !args.option("timeseries-out").empty();
+    if (args.flag("counters") || want_timeseries) {
+        obs::HwTelemetry::global().reset();
+        obs::HwTelemetry::global().setEnabled(true);
+    }
+    if (want_timeseries) {
+        obs::TimeSeriesOptions topts;
+        topts.intervalSeconds =
+            args.optionDouble("timeseries-interval-ms") / 1e3;
+        obs::TimeSeriesSampler::global().configure(topts);
+        obs::TimeSeriesSampler::global().setEnabled(true);
+    }
 }
 
 void
 obsEnd(ArgParser &args)
 {
+    // Export telemetry into the registry before the snapshot so the
+    // metrics file carries the final counter values (check_trace.py
+    // cross-checks the trace's counter tracks against them).
+    obs::HwTelemetry &telem = obs::HwTelemetry::global();
+    if (telem.enabled())
+        telem.exportTo(obs::MetricsRegistry::global());
+    obs::TimeSeriesSampler &sampler = obs::TimeSeriesSampler::global();
+    if (sampler.enabled()) {
+        sampler.exportTo(obs::MetricsRegistry::global());
+        const std::string &ts_path = args.option("timeseries-out");
+        if (!ts_path.empty() && sampler.writeFile(ts_path)) {
+            std::printf("  timeseries:    wrote %s (%zu samples)\n",
+                        ts_path.c_str(), sampler.size());
+        }
+    }
+    telem.setEnabled(false);
+    sampler.setEnabled(false);
+
     obs::Tracer &tracer = obs::Tracer::global();
     const std::string &trace_path = args.option("trace-out");
     if (!trace_path.empty()) {
@@ -609,6 +657,62 @@ cmdTrace(ArgParser &args)
     return 0;
 }
 
+/** Slurp a whole file; false (with a message in @p err) on failure. */
+bool
+readFile(const std::string &path, std::string *out, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        *err = strprintf("cannot read %s", path.c_str());
+        return false;
+    }
+    out->clear();
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+int
+cmdReport(ArgParser &args)
+{
+    obs::ReportInputs inputs;
+    std::string err;
+    const struct
+    {
+        const char *flag;
+        std::string *dst;
+    } sources[] = {{"metrics", &inputs.metricsJson},
+                   {"trace", &inputs.traceJson},
+                   {"timeseries", &inputs.timeseriesJsonl}};
+    bool any = false;
+    for (const auto &src : sources) {
+        const std::string &path = args.option(src.flag);
+        if (path.empty())
+            continue;
+        if (!readFile(path, src.dst, &err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        any = true;
+    }
+    if (!any) {
+        std::fprintf(stderr,
+                     "error: report needs at least one artifact "
+                     "(--metrics, --trace, and/or --timeseries)\n");
+        return 2;
+    }
+    std::string report = obs::renderReport(inputs, err);
+    if (report.empty()) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+    }
+    std::fputs(report.c_str(), stdout);
+    return 0;
+}
+
 int
 cmdZoo()
 {
@@ -709,6 +813,21 @@ main(int argc, char **argv)
     args.addOption("metrics-out", "",
                    "write the metrics registry as JSON and print the "
                    "summary table (serve|shard|eval)");
+    args.addFlag("counters",
+                 "collect hardware-model telemetry (FLOPs, bytes, "
+                 "cache stats, roofline gauges)");
+    args.addOption("timeseries-out", "",
+                   "sample telemetry/SLO burn on a virtual-time "
+                   "cadence and write JSONL (implies --counters)");
+    args.addOption("timeseries-interval-ms", "10",
+                   "virtual-time sampling cadence for "
+                   "--timeseries-out");
+    args.addOption("metrics", "",
+                   "metrics JSON artifact to render (report)");
+    args.addOption("trace", "",
+                   "trace JSON artifact to render (report)");
+    args.addOption("timeseries", "",
+                   "timeseries JSONL artifact to render (report)");
     args.addFlag("admission", "shed items whose wait blows the SLA");
     args.addOption("admit-wait", "0.5", "sheddable wait as SLA fraction");
     args.addOption("degrade-batch", "0",
@@ -727,7 +846,7 @@ main(int argc, char **argv)
     }
     if (command == "help" || args.flag("help")) {
         std::printf("usage: recperf <time|colocate|serve|shard|trace|"
-                    "eval|zoo> [options]\n\n%s",
+                    "eval|report|zoo> [options]\n\n%s",
                     args.helpText().c_str());
         return 0;
     }
@@ -755,6 +874,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (command == "eval")
             return cmdEval(args);
+        if (command == "report")
+            return cmdReport(args);
         if (command == "zoo")
             return cmdZoo();
     } catch (const FatalError &e) {
