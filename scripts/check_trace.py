@@ -12,13 +12,18 @@ Checks, in order:
      worker "batch" spans; the summed op time must match the summed
      batch time within --tolerance (default 1%, the PR's acceptance
      bound).
-  4. Counters: per (tid, name) counter track ('C' events) timestamps
+  4. Overload events: brownout ladder transitions (instant events of
+     cat "brownout") must step one level at a time within [0, 3], and
+     deadline instants (cat "deadline") must use the known event
+     names; with a metrics JSON their counts must agree with the
+     exported serving.* deadline/brownout counters.
+  5. Counters: per (tid, name) counter track ('C' events) timestamps
      are monotone non-decreasing and every value is finite and
      non-negative; with a metrics JSON, the final value of each track
      must agree with the exported counter/gauge of the same name
      (small absolute slack for float formatting). Traces without
      counter events still pass -- emission is opt-in.
-  5. Metrics (when a metrics JSON is given): schema_version 1, the
+  6. Metrics (when a metrics JSON is given): schema_version 1, the
      counters/gauges/histograms sections exist, histogram percentiles
      are ordered, and serving.batches.total agrees with the number of
      batch spans in the trace.
@@ -55,6 +60,7 @@ def check_schema(trace):
         fail("traceEvents missing or empty")
     spans = []
     counters = []
+    instants = []
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph == "M":
@@ -71,11 +77,13 @@ def check_schema(trace):
             spans.append(ev)
         elif ph == "C":
             counters.append(ev)
-        elif ph != "i":
+        elif ph == "i":
+            instants.append(ev)
+        else:
             fail(f"event {i} has unknown ph '{ph}'")
     if not spans:
         fail("no complete ('X') spans in trace")
-    return spans, counters
+    return spans, counters, instants
 
 
 def check_nesting(spans):
@@ -115,6 +123,67 @@ def check_reconciliation(spans, tolerance):
              f"({batch_us:.1f} us): {rel * 100:.2f}% apart "
              f"(tolerance {tolerance * 100:.2f}%)")
     return rel
+
+
+DEADLINE_EVENTS = ("expired_queue", "shed_admission", "cancelled",
+                   "run_cancelled")
+
+# (instant name, exported serving.* counter) pairs that must agree.
+DEADLINE_COUNTERS = (
+    ("expired_queue", "serving.deadline.shed"),
+    ("shed_admission", "serving.shed.admission_deadline"),
+    ("cancelled", "serving.deadline.cancelled"),
+)
+
+
+def check_overload_events(instants, metrics):
+    """Validate deadline/brownout instants; returns their count.
+
+    Brownout transitions carry from/to ladder levels that must step by
+    exactly one inside [0, 3]. Deadline instants must use the known
+    event names. With a metrics JSON from the same (serve) run, the
+    instant counts must equal the exported serving.* counters — a shed
+    or cancelled item that is counted but not traced (or vice versa)
+    is an accounting bug. Comparison is skipped per counter when the
+    export omits it (counters are gated on nonzero values, and shard
+    traces pair with sharded.* exports instead).
+    """
+    deadline = {}
+    transitions = 0
+    for ev in instants:
+        if ev["cat"] == "brownout":
+            if ev["name"] != "level":
+                fail(f"unknown brownout instant '{ev['name']}'")
+            args = ev.get("args", {})
+            try:
+                src, dst = int(args["from"]), int(args["to"])
+            except (KeyError, TypeError, ValueError):
+                fail(f"brownout transition at ts {ev['ts']} lacks "
+                     f"integer from/to args: {args}")
+            if not (0 <= src <= 3 and 0 <= dst <= 3):
+                fail(f"brownout transition {src} -> {dst} outside the "
+                     f"ladder [0, 3]")
+            if abs(src - dst) != 1:
+                fail(f"brownout ladder skipped a level: {src} -> {dst} "
+                     f"at ts {ev['ts']}")
+            transitions += 1
+        elif ev["cat"] == "deadline":
+            if ev["name"] not in DEADLINE_EVENTS:
+                fail(f"unknown deadline instant '{ev['name']}'")
+            deadline[ev["name"]] = deadline.get(ev["name"], 0) + 1
+
+    if metrics is not None:
+        exported = metrics.get("counters", {})
+        for name, counter in DEADLINE_COUNTERS:
+            want = exported.get(counter)
+            if want is not None and deadline.get(name, 0) != want:
+                fail(f"{counter} = {want} but trace has "
+                     f"{deadline.get(name, 0)} '{name}' instants")
+        want = exported.get("serving.brownout.transitions")
+        if want is not None and transitions != want:
+            fail(f"serving.brownout.transitions = {want} but trace has "
+                 f"{transitions} ladder transitions")
+    return sum(deadline.values()) + transitions
 
 
 def check_counters(counters, metrics):
@@ -187,15 +256,17 @@ def main():
     args = ap.parse_args()
 
     trace = load_json(args.trace)
-    spans, counters = check_schema(trace)
+    spans, counters, instants = check_schema(trace)
     nested = check_nesting(spans)
     rel = check_reconciliation(spans, args.tolerance)
     metrics = load_json(args.metrics) if args.metrics else None
+    overload = check_overload_events(instants, metrics)
     tracks = check_counters(counters, metrics)
     if metrics is not None:
         check_metrics(metrics, spans)
     print(f"check_trace: OK ({len(spans)} spans, {nested} nesting-checked, "
           f"op/batch reconcile within {rel * 100:.3f}%, "
+          f"{overload} deadline/brownout event(s), "
           f"{len(counters)} counter events on {tracks} track(s)"
           f"{', metrics ok' if metrics is not None else ''})")
 

@@ -5,8 +5,10 @@
 #  - BENCH_parallel_ops.json: thread-scaling of the parallel engine
 #  - BENCH_failover.json: availability + p99 vs replica count under
 #    injected shard failures (MTBF = 10x MTTR)
+#  - BENCH_brownout.json: goodput + served p99 under 1.5x overload
+#    with deadline budgets and the brownout ladder on/off
 #
-# Both files share the bench::JsonWriter envelope (bench_common.hh):
+# All files share the bench::JsonWriter envelope (bench_common.hh):
 #   {schema_version, bench, machine, config, results[]}
 #
 # Usage: scripts/run_bench.sh [--threads 1,2,4,8] [--min-time 0.25]
@@ -15,10 +17,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build
-cmake --build build --target micro_parallel_ops study_failover
+cmake --build build --target micro_parallel_ops study_failover study_brownout
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
 
 ./build/bench/study_failover --out BENCH_failover.json
 echo "wrote $(pwd)/BENCH_failover.json"
+
+./build/bench/study_brownout --out BENCH_brownout.json
+echo "wrote $(pwd)/BENCH_brownout.json"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cooperative cancellation for in-flight work.
+ *
+ * A CancelToken is shared between the issuer of a piece of work (the
+ * serving layer, which knows the request's deadline) and the code
+ * executing it (the model forward pass, the shard fan-out). Executors
+ * poll `cancelled()` at natural checkpoints — per embedding table, per
+ * batch, per shard attempt — and abandon the remaining work when the
+ * flag is set, so a request that can no longer meet its deadline stops
+ * consuming compute instead of completing late.
+ *
+ * Polling costs one relaxed atomic load, mirroring the observability
+ * layer's disabled-path contract. Tokens are in core (not resilience)
+ * because the model layer polls them and must not depend on the
+ * serving-side policy stack.
+ */
+
+#ifndef RECPERF_CORE_CANCELLATION_HH
+#define RECPERF_CORE_CANCELLATION_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace recperf {
+
+/** Shared cancel flag polled by cooperative checkpoints. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation; idempotent, safe from any thread. */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Poll the flag (one relaxed load). With a fuse armed, every poll
+     * burns one charge and the token self-cancels when the fuse
+     * reaches zero — deterministic only under single-threaded polling
+     * (tests use it to cancel mid-fan-out at an exact checkpoint).
+     */
+    bool cancelled() const
+    {
+        int64_t fuse = fuse_.load(std::memory_order_relaxed);
+        if (fuse >= 0 &&
+            fuse_.fetch_sub(1, std::memory_order_relaxed) <= 0)
+            cancelled_.store(true, std::memory_order_relaxed);
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Arm the self-cancel fuse: the (n+1)-th poll observes cancelled. */
+    void cancelAfterChecks(int64_t n)
+    {
+        fuse_.store(n, std::memory_order_relaxed);
+    }
+
+    /** Clear both the flag and any armed fuse. */
+    void reset()
+    {
+        cancelled_.store(false, std::memory_order_relaxed);
+        fuse_.store(-1, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<bool> cancelled_{false};
+    /** Remaining polls before self-cancel; < 0 disarms the fuse. */
+    mutable std::atomic<int64_t> fuse_{-1};
+};
+
+} // namespace recperf
+
+#endif // RECPERF_CORE_CANCELLATION_HH

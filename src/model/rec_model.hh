@@ -20,6 +20,7 @@
 
 namespace recperf {
 
+class CancelToken;
 class Rng;
 
 /** Sparse IDs for one embedding table across a batch. */
@@ -55,9 +56,19 @@ class RecModel
 
     /**
      * Predict CTRs for a batch.
-     * @return tensor of shape [batch, 1] with values in (0, 1).
+     *
+     * @param cancel optional cooperative cancellation token, polled at
+     *        per-op granularity (before the bottom MLP, before each
+     *        embedding-table lookup of the SLS fan-out, and before the
+     *        interaction/top MLP). When it fires, the remaining work
+     *        is abandoned and an *empty* tensor is returned — callers
+     *        serving with deadlines must check `cancel->cancelled()`
+     *        (or the result's numel()) before using the output.
+     * @return tensor of shape [batch, 1] with values in (0, 1), or an
+     *        empty tensor when cancelled mid-flight.
      */
-    Tensor forward(const ModelInput &input) const;
+    Tensor forward(const ModelInput &input,
+                   const CancelToken *cancel = nullptr) const;
 
     /** Draw a random, well-formed input batch for this model. */
     ModelInput randomInput(int64_t batch, Rng &rng) const;

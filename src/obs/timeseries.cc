@@ -166,6 +166,13 @@ TimeSeriesSampler::observeItem(double t, double latencySeconds,
     pruneLocked(t);
 }
 
+double
+TimeSeriesSampler::burnRate(double now, double windowSeconds) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return burnLocked(now, windowSeconds);
+}
+
 size_t
 TimeSeriesSampler::size() const
 {

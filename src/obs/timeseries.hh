@@ -119,6 +119,15 @@ class TimeSeriesSampler
      */
     void observeItem(double t, double latencySeconds, bool violated);
 
+    /**
+     * Burn rate over the trailing @p windowSeconds at virtual time
+     * @p now, computed from the items observed so far — the same value
+     * tick() would capture. Lets controllers (the brownout ladder)
+     * read the gauges at decision points between samples. Returns 0
+     * for an empty window.
+     */
+    double burnRate(double now, double windowSeconds) const;
+
     /** Number of captured samples currently buffered. */
     size_t size() const;
 

@@ -1,0 +1,41 @@
+#include "resilience/deadline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+double
+Deadline::remaining(double now) const
+{
+    if (!enabled())
+        return std::numeric_limits<double>::infinity();
+    return std::max(0.0, deadlineAt() - now);
+}
+
+double
+Deadline::clampTimeout(double fixedTimeoutSeconds, double now) const
+{
+    double bound = fixedTimeoutSeconds > 0.0
+        ? fixedTimeoutSeconds
+        : std::numeric_limits<double>::infinity();
+    return std::min(bound, remaining(now));
+}
+
+std::string
+validateDeadlineSeconds(double budgetSeconds)
+{
+    if (std::isnan(budgetSeconds))
+        return "deadline budget cannot be NaN";
+    if (std::isinf(budgetSeconds))
+        return "deadline budget must be finite (0 disables it)";
+    if (budgetSeconds < 0.0)
+        return strprintf("deadline budget cannot be negative (got %g s)",
+                         budgetSeconds);
+    return "";
+}
+
+} // namespace recperf

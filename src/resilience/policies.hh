@@ -35,7 +35,11 @@ namespace recperf {
 struct RetryPolicy
 {
     /** Abandon an attempt after this long; 0 waits out any straggler
-     *  (failed shards still fail fast, so no policy ever hangs). */
+     *  (failed shards still fail fast, so no policy ever hangs).
+     *  When the request carries a Deadline, every attempt's effective
+     *  timeout is this value clamped to the remaining budget
+     *  (Deadline::clampTimeout), and no retry is issued once the
+     *  budget cannot cover the p50 of a fresh attempt. */
     double timeoutSeconds = 0.0;
 
     /** Re-sends after the initial attempt. */
@@ -63,7 +67,9 @@ struct HedgePolicy
     bool enabled = false;
 
     /** Outstanding time before the hedge is sent; 0 auto-calibrates to
-     *  the p95 of the warmup shard service times. */
+     *  the p95 of the warmup shard service times. A hedge is skipped
+     *  when the request's remaining deadline budget could not cover
+     *  the delay — the duplicate would be wasted work. */
     double delaySeconds = 0.0;
 };
 

@@ -1,6 +1,7 @@
 #include "serving/distributed.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/logging.hh"
 #include "core/stats.hh"
@@ -44,7 +45,7 @@ shardConfig(const ModelConfig &base, uint32_t shard, uint32_t num_shards)
 double
 ResilientShardedResult::availability() const
 {
-    uint64_t total = completed + failed;
+    uint64_t total = completed + failed + deadlineExpired;
     return total > 0 ? static_cast<double>(completed) /
         static_cast<double>(total) : 0.0;
 }
@@ -108,6 +109,16 @@ RunResult::exportTo(obs::MetricsRegistry &registry) const
     registry.counter("sharded.breaker.closes").add(breakerCloses);
     registry.counter("sharded.breaker.probes_admitted")
         .add(probesAdmitted);
+    // Deadline counters appear only when a budget was active, so
+    // legacy runs export byte-identical metric sets.
+    if (deadlineExpired)
+        registry.counter("sharded.deadline.expired").add(deadlineExpired);
+    if (deadlineFastFails)
+        registry.counter("sharded.deadline.fast_fails")
+            .add(deadlineFastFails);
+    if (replicaSkips)
+        registry.counter("sharded.deadline.replica_skips")
+            .add(replicaSkips);
     registry.gauge("sharded.duration_seconds").set(duration);
     registry.gauge("sharded.availability").set(availability());
     registry.gauge("sharded.goodput_per_s").set(goodput());
@@ -147,6 +158,9 @@ ShardedInference::run(const RunOptions &options)
         RP_ASSERT(options.retry.maxRetries >= 0,
                   "maxRetries cannot be negative");
     }
+    std::string deadline_err =
+        validateDeadlineSeconds(options.deadlineSeconds);
+    RP_ASSERT(deadline_err.empty(), "%s", deadline_err.c_str());
 
     FaultInjector injector(
         options.faults,
@@ -171,6 +185,9 @@ ShardedInference::run(const RunOptions &options)
     }
     double hedge_delay = options.hedge.delaySeconds > 0.0
         ? options.hedge.delaySeconds : percentile(calib, 95.0);
+    // A fresh attempt's p50, from the same calibration: the fail-fast
+    // floor below which a deadline budget cannot buy a retry.
+    double fresh_p50 = percentile(calib, 50.0);
 
     std::vector<ReplicaSet> sets;
     if (replicated) {
@@ -213,15 +230,28 @@ ShardedInference::run(const RunOptions &options)
         double slowest = 0.0;
         double elapsed_max = 0.0;
         bool ok = true;
+        bool cancelled = false;
+        // Each inference carries its own budget (anchored at issue
+        // time) and cancellation token; once any shard gives up on the
+        // deadline, the token stops the remaining fan-out.
+        CancelToken inference_token;
+        DeadlineCtx ctx{Deadline{now, options.deadlineSeconds},
+                        fresh_p50, &inference_token, options.cancel};
         for (uint32_t s = 0; s < numNodes(); ++s) {
+            if (ctx.cancelled()) {
+                // Cooperative cancellation mid-fan-out: the remaining
+                // shards are never queried.
+                cancelled = true;
+                break;
+            }
             double base =
                 shard_timers_[s]->run().secondsByKind(OpKind::SLS);
             ShardOutcome out = replicated
                 ? resolveReplicated(injector, sets[s], options.retry,
                                     options.hedge, hedge_delay, s, base,
-                                    now, options.chaos, &result)
+                                    now, options.chaos, ctx, &result)
                 : resolveShard(injector, options.retry, options.hedge,
-                               hedge_delay, s, base, now, &result);
+                               hedge_delay, s, base, now, ctx, &result);
             if (tracer.enabled()) {
                 tracer.span("shard", strprintf("sls s%u", s), now,
                             now + out.elapsed, 1 + s,
@@ -230,10 +260,35 @@ ShardedInference::run(const RunOptions &options)
                               strprintf("%.3f", base * 1e6)}});
             }
             elapsed_max = std::max(elapsed_max, out.elapsed);
+            if (out.cancelled) {
+                cancelled = true;
+                break;
+            }
             if (out.ok)
                 slowest = std::max(slowest, out.elapsed);
             else
                 ok = false;
+        }
+        if (cancelled) {
+            // Deadline-shed: the aggregator never runs, the partial
+            // shard work is wasted, and virtual time advances only by
+            // what the abandoned attempt actually consumed (capped at
+            // the budget — the cancellation point).
+            ++result.deadlineExpired;
+            double consumed = ctx.deadline.enabled()
+                ? std::min(elapsed_max, ctx.deadline.budgetSeconds)
+                : elapsed_max;
+            result.wastedSeconds += elapsed_max;
+            if (tracer.enabled()) {
+                tracer.instant("deadline", "cancelled", now + consumed,
+                               0);
+            }
+            now += consumed;
+            sampler.observeItem(now, consumed, true);
+            if (telem.enabled())
+                telem.emitCounters(tracer, now, 0);
+            sampler.tick(now);
+            continue;
         }
         ModelTiming agg = agg_timer_->run();
         double agg_seconds =
@@ -327,15 +382,33 @@ ShardedInference::resolveShard(FaultInjector &injector,
                                const HedgePolicy &hedge,
                                double hedge_delay, uint32_t shard,
                                double base_seconds, double now,
+                               const DeadlineCtx &ctx,
                                ResilientShardedResult *result)
 {
+    const Deadline &dl = ctx.deadline;
     double waited = 0.0;
     int max_attempts = retry.maxRetries + 1;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         double t_start = now + waited;
+        if (ctx.cancelled() || dl.expired(t_start)) {
+            ctx.cancel();
+            return {waited, false, true};
+        }
+        double remaining = dl.remaining(t_start);
+        if (dl.enabled() && remaining < ctx.freshP50) {
+            // Fail fast: not even a median-speed fresh attempt fits
+            // in what is left of the budget, so don't issue one.
+            ++result->deadlineFastFails;
+            ctx.cancel();
+            return {waited, false, true};
+        }
+        // Every attempt's effective timeout is the policy timeout
+        // clamped to the remaining budget (+inf when neither bounds).
+        double timeout = dl.clampTimeout(retry.timeoutSeconds, t_start);
+        bool hedge_fits = hedge.enabled && hedge_delay < remaining;
         if (!injector.shardUp(shard, t_start)) {
             ++result->shardDownEncounters;
-            if (hedge.enabled) {
+            if (hedge_fits) {
                 // The hedge goes to a replica node, so it rescues the
                 // request even while the primary shard is down.
                 double hedged = base_seconds *
@@ -351,7 +424,7 @@ ShardedInference::resolveShard(FaultInjector &injector,
         } else {
             double service = base_seconds *
                 injector.serviceMultiplier(t_start);
-            if (hedge.enabled && service > hedge_delay) {
+            if (hedge_fits && service > hedge_delay) {
                 double hedged = hedge_delay + base_seconds *
                     injector.serviceMultiplier(t_start + hedge_delay);
                 ++result->hedgesIssued;
@@ -362,11 +435,10 @@ ShardedInference::resolveShard(FaultInjector &injector,
                     service = hedged;
                 }
             }
-            if (retry.timeoutSeconds > 0.0 &&
-                service > retry.timeoutSeconds) {
+            if (service > timeout) {
                 ++result->timeouts;
-                result->wastedSeconds += retry.timeoutSeconds;
-                waited += retry.timeoutSeconds;
+                result->wastedSeconds += timeout;
+                waited += timeout;
             } else {
                 return {waited + service, true};
             }
@@ -387,8 +459,10 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                                     double hedge_delay, uint32_t shard,
                                     double base_seconds, double now,
                                     const ChaosSchedule *chaos,
+                                    const DeadlineCtx &ctx,
                                     ReplicatedShardedResult *result)
 {
+    const Deadline &dl = ctx.deadline;
     // Replica r of shard s runs failure process s*R + r; scripted chaos
     // windows override the renewal process. Every query also tells the
     // ReplicaSet what it saw, so down -> up edges start the warm-up.
@@ -408,7 +482,43 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
     int max_attempts = retry.maxRetries + 1;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         double t_start = now + waited;
+        if (ctx.cancelled() || dl.expired(t_start)) {
+            ctx.cancel();
+            return {waited, false, true};
+        }
+        double remaining = dl.remaining(t_start);
+        if (dl.enabled() && remaining < ctx.freshP50) {
+            ++result->deadlineFastFails;
+            ctx.cancel();
+            return {waited, false, true};
+        }
+        double timeout = dl.clampTimeout(retry.timeoutSeconds, t_start);
+        bool hedge_fits = hedge.enabled && hedge_delay < remaining;
         ReplicaSet::Pick pick = set.route(t_start);
+        if (dl.enabled() && pick.replica >= 0) {
+            // Skip replicas whose learned EWMA latency already exceeds
+            // the remaining budget: prefer the router's alternate when
+            // it fits, otherwise abandon rather than send a doomed
+            // request.
+            const HealthTracker &primary_health =
+                set.health(static_cast<uint32_t>(pick.replica));
+            if (primary_health.successes() > 0 &&
+                primary_health.ewmaSeconds() > remaining) {
+                bool alternate_fits = false;
+                if (pick.alternate >= 0) {
+                    const HealthTracker &alt_health = set.health(
+                        static_cast<uint32_t>(pick.alternate));
+                    alternate_fits = alt_health.successes() == 0 ||
+                        alt_health.ewmaSeconds() <= remaining;
+                }
+                ++result->replicaSkips;
+                if (!alternate_fits) {
+                    ctx.cancel();
+                    return {waited, false, true};
+                }
+                std::swap(pick.replica, pick.alternate);
+            }
+        }
         if (pick.replica < 0) {
             // Every breaker rejected: nothing to send to. Pay the
             // detection latency and let the backoff ride until a
@@ -424,7 +534,7 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                 prev_error_replica = pick.replica;
                 // A down primary is rescued by hedging to the router's
                 // second-best replica — if one is admitted and alive.
-                if (hedge.enabled && pick.alternate >= 0) {
+                if (hedge_fits && pick.alternate >= 0) {
                     auto alt = static_cast<uint32_t>(pick.alternate);
                     double t_hedge = t_start + hedge_delay;
                     if (replica_up(alt, t_hedge)) {
@@ -453,7 +563,7 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                     base_seconds * multiplier(t_start) * warm;
                 double primary_service = service;
                 uint32_t winner = primary;
-                if (hedge.enabled && service > hedge_delay &&
+                if (hedge_fits && service > hedge_delay &&
                     pick.alternate >= 0) {
                     auto alt = static_cast<uint32_t>(pick.alternate);
                     double t_hedge = t_start + hedge_delay;
@@ -480,14 +590,12 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         set.recordError(alt, t_hedge);
                     }
                 }
-                if (retry.timeoutSeconds > 0.0 &&
-                    service > retry.timeoutSeconds) {
+                if (service > timeout) {
                     ++result->timeouts;
-                    set.recordError(primary,
-                                    t_start + retry.timeoutSeconds);
+                    set.recordError(primary, t_start + timeout);
                     prev_error_replica = static_cast<int>(primary);
-                    result->wastedSeconds += retry.timeoutSeconds;
-                    waited += retry.timeoutSeconds;
+                    result->wastedSeconds += timeout;
+                    waited += timeout;
                 } else {
                     // The primary did answer (even when the hedge beat
                     // it), so its EWMA learns its own latency.

@@ -19,8 +19,10 @@
 #include <optional>
 #include <vector>
 
+#include "core/cancellation.hh"
 #include "core/stats.hh"
 #include "obs/metrics.hh"
+#include "resilience/deadline.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
 #include "resilience/replica_set.hh"
@@ -63,6 +65,15 @@ struct ResilientShardedResult
     /** Inferences abandoned after retry exhaustion on some shard. */
     uint64_t failed = 0;
 
+    /** Inferences cancelled because the deadline budget expired (or a
+     *  cancellation token fired) mid-fan-out — counted as
+     *  deadline-shed, never as late completions. */
+    uint64_t deadlineExpired = 0;
+
+    /** Attempts skipped outright because the remaining budget could
+     *  not cover the p50 of a fresh attempt (fail fast, no retry). */
+    uint64_t deadlineFastFails = 0;
+
     uint64_t hedgesIssued = 0;
 
     /** Hedges that beat (or rescued) the primary request. */
@@ -89,7 +100,8 @@ struct ResilientShardedResult
     /** Virtual wall-clock span of the measured loop (seconds). */
     double duration = 0.0;
 
-    /** Fraction of inferences that completed. */
+    /** Fraction of inferences that completed (deadline-cancelled ones
+     *  count against availability like failures). */
     double availability() const;
 
     /** Completed inferences per second of virtual wall-clock. */
@@ -118,6 +130,11 @@ struct ReplicatedShardedResult : ResilientShardedResult
 
     /** Requests admitted as half-open probes. */
     uint64_t probesAdmitted = 0;
+
+    /** Routing decisions overridden because the primary replica's
+     *  EWMA latency exceeded the remaining deadline budget (failover
+     *  to the alternate, or abandonment when none fits). */
+    uint64_t replicaSkips = 0;
 
     /** Extra service seconds paid to post-recovery cold replicas. */
     double warmupPenaltySeconds = 0.0;
@@ -167,6 +184,26 @@ struct RunOptions
 
     /** Optional scripted chaos windows (replica-layer runs only). */
     const ChaosSchedule *chaos = nullptr;
+
+    /**
+     * Per-inference deadline budget; 0 disables. With a budget, every
+     * retry/hedge timeout is clamped to the remaining budget, attempts
+     * fail fast (no retry) once the budget cannot cover the p50 of a
+     * fresh attempt, replica routing skips copies whose EWMA latency
+     * exceeds the budget, and an expired budget cancels the remaining
+     * shard fan-out — counted as deadlineExpired, never as a late
+     * completion.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * Optional external cancellation token, polled before every shard
+     * attempt; once it fires, in-flight and subsequent inferences are
+     * abandoned and counted as deadlineExpired, keeping
+     * completed + failed + deadlineExpired == measureIters exact.
+     * Not owned; may be null.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**
@@ -259,6 +296,36 @@ class ShardedInference
     {
         double elapsed = 0.0;
         bool ok = false;
+        /** Abandoned by deadline/cancellation, not by retry
+         *  exhaustion. */
+        bool cancelled = false;
+    };
+
+    /**
+     * Deadline context threaded through one inference's fan-out: the
+     * budget anchored at the inference's issue time, the calibrated
+     * p50 of a fresh attempt, the inference-local cancellation token
+     * (set once any shard gives up, so sibling shards stop too), and
+     * the caller's external token.
+     */
+    struct DeadlineCtx
+    {
+        Deadline deadline;
+        double freshP50 = 0.0;
+        CancelToken *token = nullptr;
+        const CancelToken *external = nullptr;
+
+        bool cancelled() const
+        {
+            return (token && token->cancelled()) ||
+                (external && external->cancelled());
+        }
+
+        void cancel() const
+        {
+            if (token)
+                token->cancel();
+        }
     };
 
     ShardOutcome resolveShard(FaultInjector &injector,
@@ -266,6 +333,7 @@ class ShardedInference
                               const HedgePolicy &hedge,
                               double hedge_delay, uint32_t shard,
                               double base_seconds, double now,
+                              const DeadlineCtx &ctx,
                               ResilientShardedResult *result);
 
     ShardOutcome resolveReplicated(FaultInjector &injector,
@@ -275,6 +343,7 @@ class ShardedInference
                                    double hedge_delay, uint32_t shard,
                                    double base_seconds, double now,
                                    const ChaosSchedule *chaos,
+                                   const DeadlineCtx &ctx,
                                    ReplicatedShardedResult *result);
 
     /** Pooled-vector bytes one shard ships per inference. */

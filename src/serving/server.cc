@@ -8,6 +8,7 @@
 #include "obs/hw_counters.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "resilience/deadline.hh"
 
 namespace recperf {
 
@@ -49,6 +50,20 @@ ServingStats::servedFraction() const
         static_cast<double>(offered) : 0.0;
 }
 
+double
+ServingStats::qualityScore() const
+{
+    uint64_t served = completedItems();
+    return served > 0 ? qualitySum / static_cast<double>(served) : 0.0;
+}
+
+double
+ServingStats::deadlineGoodput() const
+{
+    return duration > 0.0
+        ? static_cast<double>(deadlineMet) / duration : 0.0;
+}
+
 void
 ServingStats::exportTo(obs::MetricsRegistry &registry) const
 {
@@ -59,6 +74,37 @@ ServingStats::exportTo(obs::MetricsRegistry &registry) const
         .add(droppedLowPriority);
     registry.counter("serving.batches.total").add(serviceTime.count());
     registry.counter("serving.batches.degraded").add(degradedBatches);
+    // Deadline/brownout telemetry appears only when those features saw
+    // traffic, so legacy runs export byte-identical metric sets.
+    if (shedAdmissionDeadline)
+        registry.counter("serving.shed.admission_deadline")
+            .add(shedAdmissionDeadline);
+    if (deadlineShedQueue)
+        registry.counter("serving.deadline.shed").add(deadlineShedQueue);
+    if (deadlineCancelled)
+        registry.counter("serving.deadline.cancelled")
+            .add(deadlineCancelled);
+    if (deadlineMet) {
+        registry.counter("serving.deadline.met").add(deadlineMet);
+        registry.gauge("serving.throughput.deadline_goodput_items_per_s")
+            .set(deadlineGoodput());
+    }
+    if (brownoutTransitions)
+        registry.counter("serving.brownout.transitions")
+            .add(brownoutTransitions);
+    bool any_level = false;
+    for (int l = 1; l < kBrownoutLevels; ++l)
+        any_level = any_level || brownoutItems[l] > 0;
+    if (any_level || brownoutTransitions) {
+        for (int l = 0; l < kBrownoutLevels; ++l) {
+            registry.counter(strprintf("serving.brownout.items.l%d", l))
+                .add(brownoutItems[l]);
+        }
+        registry.gauge("serving.brownout.quality_score")
+            .set(qualityScore());
+        registry.gauge("serving.brownout.final_level")
+            .set(static_cast<double>(finalBrownoutLevel));
+    }
     registry.gauge("serving.duration_seconds").set(duration);
     registry.gauge("serving.throughput.within_sla_items_per_s")
         .set(goodThroughput());
@@ -86,8 +132,12 @@ ServingStats::summarize(const obs::MetricsSnapshot &snap)
     uint64_t missed = snap.counter("serving.items.sla_missed");
     uint64_t shed = snap.counter("serving.items.shed");
     uint64_t dropped = snap.counter("serving.items.dropped_low_priority");
+    uint64_t shed_deadline = snap.counter("serving.shed.admission_deadline");
+    uint64_t deadline_shed = snap.counter("serving.deadline.shed");
+    uint64_t cancelled = snap.counter("serving.deadline.cancelled");
     uint64_t completed = met + missed;
-    uint64_t offered = completed + shed + dropped;
+    uint64_t offered = completed + shed + dropped + shed_deadline +
+        deadline_shed + cancelled;
     double duration = snap.gauge("serving.duration_seconds");
 
     std::string out;
@@ -98,6 +148,15 @@ ServingStats::summarize(const obs::MetricsSnapshot &snap)
     if (shed)
         out += strprintf("  shed at admission: %12llu\n",
                          static_cast<unsigned long long>(shed));
+    if (shed_deadline)
+        out += strprintf("  shed (deadline < p50 est): %4llu\n",
+                         static_cast<unsigned long long>(shed_deadline));
+    if (deadline_shed)
+        out += strprintf("  deadline-shed in queue: %7llu\n",
+                         static_cast<unsigned long long>(deadline_shed));
+    if (cancelled)
+        out += strprintf("  cancelled mid-batch: %10llu\n",
+                         static_cast<unsigned long long>(cancelled));
     if (dropped)
         out += strprintf("  dropped low-prio:  %12llu\n",
                          static_cast<unsigned long long>(dropped));
@@ -118,6 +177,36 @@ ServingStats::summarize(const obs::MetricsSnapshot &snap)
         out += strprintf(
             "  goodput:           %12.0f items/s within SLA\n",
             snap.gauge("serving.throughput.within_sla_items_per_s"));
+    }
+    uint64_t deadline_met = snap.counter("serving.deadline.met");
+    if (deadline_met && duration > 0.0) {
+        out += strprintf(
+            "  deadline goodput:  %12.0f items/s within deadline\n",
+            snap.gauge("serving.throughput.deadline_goodput_items_per_s"));
+    }
+    uint64_t brownout_transitions =
+        snap.counter("serving.brownout.transitions");
+    uint64_t level_items[kBrownoutLevels];
+    bool browned = brownout_transitions > 0;
+    for (int l = 0; l < kBrownoutLevels; ++l) {
+        level_items[l] =
+            snap.counter(strprintf("serving.brownout.items.l%d", l));
+        browned = browned || (l > 0 && level_items[l] > 0);
+    }
+    if (browned) {
+        out += strprintf("  brownout:          %12llu transitions, "
+                         "quality %.3f\n",
+                         static_cast<unsigned long long>(
+                             brownout_transitions),
+                         snap.gauge("serving.brownout.quality_score"));
+        for (int l = 0; l < kBrownoutLevels; ++l) {
+            if (!level_items[l])
+                continue;
+            out += strprintf(
+                "    level %d (%s): %llu items\n", l,
+                brownoutLevelName(static_cast<BrownoutLevel>(l)),
+                static_cast<unsigned long long>(level_items[l]));
+        }
     }
     struct Row { const char *label; const char *name; };
     static constexpr Row kRows[] = {
@@ -158,6 +247,10 @@ Server::Server(const MachineSpec &machine, const ModelConfig &config,
     RP_ASSERT(options_.healthyReplicas <= options_.clusterReplicas,
               "healthy replicas (%u) cannot exceed the cluster's %u",
               options_.healthyReplicas, options_.clusterReplicas);
+    std::string err = validateDeadlineSeconds(options_.deadlineSeconds);
+    RP_ASSERT(err.empty(), "%s", err.c_str());
+    err = options_.brownout.validate();
+    RP_ASSERT(err.empty(), "%s", err.c_str());
     if (options_.faults.anyFaults())
         injector_ = std::make_unique<FaultInjector>(options_.faults, 0);
 
@@ -174,16 +267,25 @@ Server::Server(const MachineSpec &machine, const ModelConfig &config,
     }
 
     // Warm caches and converge the FC contention estimate (two passes,
-    // as in ColocationSim).
+    // as in ColocationSim). The final pass also seeds the p50 service
+    // estimate that deadline admission uses before any batch has been
+    // observed.
     std::vector<double> dram_bytes(workers_.size(), 0.0);
     for (int pass = 0; pass < 2; ++pass) {
+        double service_sum = 0.0;
+        uint64_t service_runs = 0;
         for (size_t w = 0; w < workers_.size(); ++w) {
             double observed = 0.0;
             for (int i = 0; i < 3; ++i) {
-                workers_[w]->run();
+                service_sum += workers_[w]->run().totalSeconds();
+                ++service_runs;
                 observed += workers_[w]->lastDramBytes();
             }
             dram_bytes[w] = observed / 3.0;
+        }
+        if (service_runs > 0) {
+            warmServiceEstimate_ =
+                service_sum / static_cast<double>(service_runs);
         }
         double total = 0.0;
         for (double b : dram_bytes)
@@ -213,10 +315,37 @@ Server::healthyFraction() const
 
 double
 Server::serviceBatch(size_t worker, int64_t batch, double now,
-                     double *fc_seconds)
+                     double *fc_seconds, BrownoutLevel level)
 {
-    workers_[worker]->setBatch(batch);
+    // Brownout levels shrink the modeled work. L1+ scores only a
+    // fraction of the candidate set (smaller effective batch — every
+    // request still gets an answer, from fewer scored candidates).
+    int64_t effective = batch;
+    if (level != BrownoutLevel::Full) {
+        effective = std::max<int64_t>(
+            1, static_cast<int64_t>(std::ceil(
+                   static_cast<double>(batch) *
+                   options_.brownout.truncateFraction)));
+    }
+    workers_[worker]->setBatch(effective);
     ModelTiming timing = workers_[worker]->run();
+    // L2 skips low-value embedding tables; L3 answers from cached
+    // (stale) pooled embeddings. Both scale the SLS ops *inside* the
+    // timing record, so the per-op trace spans keep tiling the batch
+    // span exactly and the FC share is untouched.
+    if (level == BrownoutLevel::SkipTables ||
+        level == BrownoutLevel::StaleEmbeddings) {
+        double keep = level == BrownoutLevel::SkipTables
+            ? 1.0 - options_.brownout.skipTableFraction : 0.0;
+        for (OpTiming &op : timing.ops) {
+            if (op.kind != OpKind::SLS)
+                continue;
+            op.seconds *= keep;
+            op.computeSeconds *= keep;
+            op.memorySeconds *= keep;
+            op.dispatchSeconds *= keep;
+        }
+    }
     double jitter = std::exp(jitter_rng_.nextGaussian() *
                              options_.jitterSigma);
     if (injector_)
@@ -294,10 +423,51 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
     double degrade_backlog = options_.degrade.backlogFactor * healthy *
         static_cast<double>(options_.maxBatch);
 
+    // Deadline machinery: every item carries the same relative budget
+    // from its arrival. A private burn-rate sensor feeds the brownout
+    // controller — private so its windows/budget can differ from the
+    // exported slo.* gauges, and so it sees shed/cancelled items too.
+    const bool deadline_on = options_.deadlineSeconds > 0.0;
+    const double deadline_budget = options_.deadlineSeconds;
+    obs::TimeSeriesSampler brown_sensor;
+    BrownoutController brownout(options_.brownout);
+    if (options_.brownout.enabled) {
+        obs::TimeSeriesOptions sensor_opts;
+        sensor_opts.shortWindowSeconds =
+            options_.brownout.shortWindowSeconds;
+        sensor_opts.longWindowSeconds =
+            options_.brownout.longWindowSeconds;
+        sensor_opts.errorBudget = options_.brownout.errorBudget;
+        brown_sensor.configure(sensor_opts);
+        brown_sensor.setEnabled(true);
+    }
+    // Recent per-batch service times; their p50 is the admission
+    // estimate a deadline is checked against. Seeded by the warm-up
+    // calibration until real batches accumulate.
+    std::vector<double> recent_service;
+    auto service_p50 = [&]() {
+        return recent_service.empty() ? warmServiceEstimate_
+                                      : percentile(recent_service, 50.0);
+    };
+    auto observe_outcome = [&](double t, double latency, bool violated) {
+        sampler.observeItem(t, latency, violated);
+        brown_sensor.observeItem(t, latency, violated);
+    };
+
     ServingStats stats;
     size_t next = 0;
     double last_finish = 0.0;
+    double last_assembly_end = 0.0;
     while (next < arrivals.size()) {
+        // Cooperative cancellation of the whole run: stop between
+        // batches, never admitting the remaining arrivals. Counters
+        // stay exact because those items are not counted as offered.
+        if (cancel_ && cancel_->cancelled()) {
+            if (tracer.enabled())
+                tracer.instant("deadline", "run_cancelled", last_finish,
+                               0);
+            break;
+        }
         auto [t_free, w] = free_at.top();
         free_at.pop();
 
@@ -318,6 +488,32 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                        options_.maxBatch)
             : options_.maxBatch;
 
+        // The brownout ladder re-evaluates at every batch-formation
+        // instant from the controller's own burn-rate sensor.
+        BrownoutLevel level = BrownoutLevel::Full;
+        if (options_.brownout.enabled) {
+            BrownoutLevel prev = brownout.level();
+            level = brownout.update(
+                start,
+                brown_sensor.burnRate(
+                    start, options_.brownout.shortWindowSeconds),
+                brown_sensor.burnRate(
+                    start, options_.brownout.longWindowSeconds));
+            if (level != prev) {
+                ++stats.brownoutTransitions;
+                if (tracer.enabled()) {
+                    tracer.instant(
+                        "brownout", "level", start, 0,
+                        {{"from",
+                          strprintf("%d", static_cast<int>(prev))},
+                         {"to",
+                          strprintf("%d", static_cast<int>(level))}});
+                }
+            }
+        }
+
+        double service_estimate = service_p50();
+
         // Form the batch, shedding and dropping as policy dictates.
         // An item arriving exactly at `start` has zero wait, so the
         // loop always consumes at least one item and terminates.
@@ -325,6 +521,33 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         while (next < backlog_end &&
                static_cast<int64_t>(batch_arrivals.size()) < batch_cap) {
             double wait = start - arrivals[next];
+            if (deadline_on) {
+                Deadline dl{arrivals[next], deadline_budget};
+                if (dl.expired(start)) {
+                    // The budget burned away in the queue; serving now
+                    // would only complete late. Deadline-shed.
+                    ++stats.deadlineShedQueue;
+                    if (tracer.enabled()) {
+                        tracer.instant("deadline", "expired_queue",
+                                       start, 0);
+                    }
+                    observe_outcome(start, wait, true);
+                    ++next;
+                    continue;
+                }
+                if (dl.remaining(start) < service_estimate) {
+                    // Admission rejection: even a median-speed batch
+                    // starting right now would blow the deadline.
+                    ++stats.shedAdmissionDeadline;
+                    if (tracer.enabled()) {
+                        tracer.instant("deadline", "shed_admission",
+                                       start, 0);
+                    }
+                    observe_outcome(start, wait, true);
+                    ++next;
+                    continue;
+                }
+            }
             if (options_.admission.enabled && wait > wait_budget) {
                 ++stats.shedItems;
                 if (tracer.enabled())
@@ -353,20 +576,38 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
 
         double fc = 0.0;
         double service = serviceBatch(
-            w, static_cast<int64_t>(batch_arrivals.size()), start, &fc);
+            w, static_cast<int64_t>(batch_arrivals.size()), start, &fc,
+            level);
         double finish = start + service;
         stats.serviceTime.add(service);
         stats.fcTime.add(fc);
+        recent_service.push_back(service);
+        if (recent_service.size() > 64)
+            recent_service.erase(recent_service.begin());
         if (tracer.enabled()) {
             std::string items =
                 strprintf("%zu", batch_arrivals.size());
-            tracer.span("serve", "batch_assembly",
-                        batch_arrivals.front(), start, 0,
-                        {{"items", items}});
+            std::vector<std::pair<std::string, std::string>> args = {
+                {"items", items},
+                {"degraded", degraded ? "true" : "false"}};
+            if (options_.brownout.enabled) {
+                args.emplace_back(
+                    "level", strprintf("%d", static_cast<int>(level)));
+            }
+            // The queue lane shows when each batch was at the head of
+            // the queue being assembled. Batches overlap in queueing
+            // time under backlog (the next batch's items arrive while
+            // the previous one waits), so the span is clipped to start
+            // after the previous assembly ends — batch starts are
+            // monotone, keeping the lane's spans disjoint and the
+            // trace nesting-clean at any load.
+            double assembly_start =
+                std::max(batch_arrivals.front(), last_assembly_end);
+            tracer.span("serve", "batch_assembly", assembly_start,
+                        start, 0, {{"items", items}});
+            last_assembly_end = start;
             tracer.span("serve", "batch", start, finish,
-                        static_cast<uint32_t>(1 + w),
-                        {{"items", items},
-                         {"degraded", degraded ? "true" : "false"}});
+                        static_cast<uint32_t>(1 + w), args);
         }
 
         // Counter events ride the batch start timestamp, which the
@@ -379,13 +620,32 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
 
         for (double arrival : batch_arrivals) {
             double latency = finish - arrival;
+            if (deadline_on && latency > deadline_budget) {
+                // The cancellation token fired mid-batch for this
+                // item: the batch finished past its deadline, so its
+                // answer is abandoned, not delivered late.
+                ++stats.deadlineCancelled;
+                if (tracer.enabled()) {
+                    tracer.instant("deadline", "cancelled", finish,
+                                   static_cast<uint32_t>(1 + w));
+                }
+                observe_outcome(finish, latency, true);
+                continue;
+            }
             stats.itemLatency.add(latency);
             bool violated = latency > options_.slaSeconds;
             if (violated)
                 ++stats.slaMissed;
             else
                 ++stats.slaMet;
-            sampler.observeItem(finish, latency, violated);
+            if (deadline_on)
+                ++stats.deadlineMet;
+            if (options_.brownout.enabled) {
+                ++stats.brownoutItems[static_cast<int>(level)];
+                stats.qualitySum +=
+                    options_.brownout.qualityScore(level);
+            }
+            observe_outcome(finish, latency, violated);
         }
         last_finish = std::max(last_finish, finish);
         free_at.emplace(finish, w);
@@ -395,6 +655,8 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         telem.emitCounters(tracer, last_finish, 0);
     sampler.tick(last_finish);
 
+    stats.finalBrownoutLevel =
+        static_cast<uint32_t>(brownout.level());
     stats.duration = last_finish;
     return stats;
 }

@@ -21,10 +21,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/cancellation.hh"
 #include "core/stats.hh"
 #include "obs/metrics.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
+#include "sched/brownout.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -66,6 +68,19 @@ struct ServerOptions
 
     /** Service-time fault injection (stragglers, load spikes). */
     FaultOptions faults;
+
+    /**
+     * Per-item end-to-end deadline budget (arrival to completion);
+     * 0 disables. With a deadline, items are shed at admission when
+     * the budget cannot cover the p50 service estimate, shed from the
+     * queue once the budget expires while waiting, and cancelled
+     * mid-batch when the batch finishes past their deadline — counted
+     * as deadline-shed rather than silently completed late.
+     */
+    double deadlineSeconds = 0.0;
+
+    /** SLO-burn-driven graceful-degradation ladder. */
+    BrownoutOptions brownout;
 };
 
 /** Outcome of a serving run. */
@@ -95,17 +110,54 @@ struct ServingStats
     /** Batches served with the degraded batch cap. */
     uint64_t degradedBatches = 0;
 
+    /** Items rejected at admission: deadline below the p50 service
+     *  estimate, so serving them was hopeless from the start. */
+    uint64_t shedAdmissionDeadline = 0;
+
+    /** Items whose deadline expired while they waited in the queue. */
+    uint64_t deadlineShedQueue = 0;
+
+    /** Items cancelled mid-batch: the batch finished past their
+     *  deadline, so the answer was abandoned instead of delivered
+     *  late. */
+    uint64_t deadlineCancelled = 0;
+
+    /** Served items that met their deadline (defined only when the
+     *  deadline is enabled; equals completedItems() then, because a
+     *  late item is cancelled, never served). */
+    uint64_t deadlineMet = 0;
+
+    /** Brownout-ladder level changes during the run. */
+    uint64_t brownoutTransitions = 0;
+
+    /** Served items per ladder level (index = BrownoutLevel). */
+    uint64_t brownoutItems[kBrownoutLevels] = {0, 0, 0, 0};
+
+    /** Sum of per-item modeled quality over served items. */
+    double qualitySum = 0.0;
+
+    /** Ladder level at the end of the run. */
+    uint32_t finalBrownoutLevel = 0;
+
     /** Wall-clock span of the simulation (seconds). */
     double duration = 0.0;
 
     /** Items that were actually served (met + missed the SLA). */
     uint64_t completedItems() const { return slaMet + slaMissed; }
 
-    /** Items offered, whether served, shed, or dropped. */
+    /** Items offered, whether served, shed, dropped, or cancelled. */
     uint64_t offeredItems() const
     {
-        return completedItems() + shedItems + droppedLowPriority;
+        return completedItems() + shedItems + droppedLowPriority +
+            shedAdmissionDeadline + deadlineShedQueue +
+            deadlineCancelled;
     }
+
+    /** Mean modeled quality of served items (1.0 = full fidelity). */
+    double qualityScore() const;
+
+    /** Served items that met their deadline, per second. */
+    double deadlineGoodput() const;
 
     /** Items completing within SLA per second. All accessors are safe
      *  on empty runs (they return 0 rather than dividing by zero). */
@@ -153,6 +205,15 @@ class Server
     ServingStats runOpenLoop(double items_per_second, uint64_t num_items);
 
     /**
+     * Install a cooperative cancellation token checked at batch
+     * granularity inside runOpenLoop: once it fires, the run stops
+     * after the in-flight batch and the not-yet-offered arrivals are
+     * simply never admitted, so the returned accounting stays exact
+     * (served + shed + cancelled == offered). Null detaches.
+     */
+    void setCancelToken(const CancelToken *cancel) { cancel_ = cancel; }
+
+    /**
      * Closed-loop run: workers always have a full batch ready
      * (saturation throughput measurement).
      */
@@ -162,7 +223,8 @@ class Server
 
   private:
     double serviceBatch(size_t worker, int64_t batch, double now,
-                        double *fc_seconds);
+                        double *fc_seconds,
+                        BrownoutLevel level = BrownoutLevel::Full);
 
     /** healthy/total replica fraction in (0, 1]; 1 when fully healthy. */
     double healthyFraction() const;
@@ -176,6 +238,10 @@ class Server
     Rng priority_rng_;
     /** Present when the failure model is active. */
     std::unique_ptr<FaultInjector> injector_;
+    /** External cooperative cancellation; not owned. */
+    const CancelToken *cancel_ = nullptr;
+    /** Warm-up-calibrated full-batch service estimate (seconds). */
+    double warmServiceEstimate_ = 0.0;
 };
 
 } // namespace recperf

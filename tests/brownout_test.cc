@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the brownout ladder: option validation, the hysteresis
+ * state machine (escalate on short-window burn, de-escalate on
+ * long-window burn, dwell-bounded transition rate), the serving
+ * integration (level occupancy, quality accounting, trace/metric
+ * visibility), and bitwise determinism across host thread counts and
+ * chaos seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+#include "core/thread_pool.hh"
+#include "machine/machine_spec.hh"
+#include "model/zoo.hh"
+#include "sched/brownout.hh"
+#include "serving/server.hh"
+
+namespace recperf {
+namespace {
+
+BrownoutOptions
+ladder()
+{
+    BrownoutOptions b;
+    b.enabled = true;
+    b.enterBurn = 4.0;
+    b.escalationGrowth = 2.0;
+    b.exitFraction = 0.5;
+    b.dwellSeconds = 0.01;
+    b.shortWindowSeconds = 0.01;
+    b.longWindowSeconds = 0.05;
+    return b;
+}
+
+TEST(BrownoutOptions, ThresholdsGrowPerLevel)
+{
+    BrownoutOptions b = ladder();
+    EXPECT_DOUBLE_EQ(b.enterThreshold(1), 4.0);
+    EXPECT_DOUBLE_EQ(b.enterThreshold(2), 8.0);
+    EXPECT_DOUBLE_EQ(b.enterThreshold(3), 16.0);
+}
+
+TEST(BrownoutOptions, QualityDecreasesDownTheLadder)
+{
+    BrownoutOptions b = ladder();
+    double prev = 1.1;
+    for (int l = 0; l < kBrownoutLevels; ++l) {
+        double q = b.qualityScore(static_cast<BrownoutLevel>(l));
+        EXPECT_GT(q, 0.0);
+        EXPECT_LE(q, 1.0);
+        EXPECT_LT(q, prev);
+        prev = q;
+    }
+    EXPECT_DOUBLE_EQ(
+        b.qualityScore(BrownoutLevel::Full), 1.0);
+}
+
+TEST(BrownoutOptions, LevelNamesAreStable)
+{
+    EXPECT_STREQ(brownoutLevelName(BrownoutLevel::Full), "full");
+    EXPECT_STREQ(brownoutLevelName(BrownoutLevel::TruncateCandidates),
+                 "truncate_candidates");
+    EXPECT_STREQ(brownoutLevelName(BrownoutLevel::SkipTables),
+                 "skip_tables");
+    EXPECT_STREQ(brownoutLevelName(BrownoutLevel::StaleEmbeddings),
+                 "stale_embeddings");
+}
+
+TEST(BrownoutOptions, ValidatesRanges)
+{
+    BrownoutOptions b = ladder();
+    EXPECT_TRUE(b.validate().empty());
+    // Disabled options never reject: legacy configs carry defaults.
+    BrownoutOptions off;
+    off.enterBurn = -1.0;
+    EXPECT_TRUE(off.validate().empty());
+
+    b = ladder();
+    b.enterBurn = 0.0;
+    EXPECT_FALSE(b.validate().empty());
+    b = ladder();
+    b.escalationGrowth = 0.5;
+    EXPECT_FALSE(b.validate().empty());
+    b = ladder();
+    b.exitFraction = 1.5;
+    EXPECT_FALSE(b.validate().empty());
+    b = ladder();
+    b.truncateFraction = 0.0;
+    EXPECT_FALSE(b.validate().empty());
+    b = ladder();
+    b.skipTableFraction = 1.5;
+    EXPECT_FALSE(b.validate().empty());
+    b = ladder();
+    b.shortWindowSeconds = 0.2; // must be <= the long window
+    b.longWindowSeconds = 0.1;
+    EXPECT_FALSE(b.validate().empty());
+}
+
+TEST(BrownoutController, EscalatesOneLevelPerUpdate)
+{
+    BrownoutController c(ladder());
+    EXPECT_EQ(c.level(), BrownoutLevel::Full);
+    // A burn far past every threshold still climbs one rung at a time
+    // (dwell: 10 ms between moves).
+    EXPECT_EQ(c.update(0.00, 100.0, 100.0),
+              BrownoutLevel::TruncateCandidates);
+    EXPECT_EQ(c.update(0.005, 100.0, 100.0),
+              BrownoutLevel::TruncateCandidates); // dwell-blocked
+    EXPECT_EQ(c.update(0.011, 100.0, 100.0), BrownoutLevel::SkipTables);
+    EXPECT_EQ(c.update(0.022, 100.0, 100.0),
+              BrownoutLevel::StaleEmbeddings);
+    // Top of the ladder: no further escalation.
+    EXPECT_EQ(c.update(0.033, 1000.0, 1000.0),
+              BrownoutLevel::StaleEmbeddings);
+    EXPECT_EQ(c.transitions(), 3u);
+}
+
+TEST(BrownoutController, HysteresisHoldsTheLevel)
+{
+    BrownoutController c(ladder());
+    c.update(0.0, 100.0, 100.0); // -> L1 (enter threshold 4.0)
+    // Short burn below the next entry threshold and long burn above
+    // the exit band (4.0 * 0.5 = 2.0): the controller holds.
+    EXPECT_EQ(c.update(0.02, 3.0, 3.0),
+              BrownoutLevel::TruncateCandidates);
+    EXPECT_EQ(c.update(0.04, 3.0, 3.0),
+              BrownoutLevel::TruncateCandidates);
+    // Long-window burn drops into the exit band: de-escalate.
+    EXPECT_EQ(c.update(0.06, 3.0, 1.0), BrownoutLevel::Full);
+    EXPECT_EQ(c.transitions(), 2u);
+}
+
+TEST(BrownoutController, RecoveryIsDeliberate)
+{
+    // A short-window spike enters the ladder, but leaving requires the
+    // *long* window to drain — a calm short window alone is not enough.
+    BrownoutController c(ladder());
+    c.update(0.0, 100.0, 100.0); // -> L1
+    EXPECT_EQ(c.update(0.02, 0.0, 5.0),
+              BrownoutLevel::TruncateCandidates);
+    EXPECT_EQ(c.update(0.04, 0.0, 1.9), BrownoutLevel::Full);
+}
+
+TEST(BrownoutController, DisabledNeverMoves)
+{
+    BrownoutOptions off;
+    BrownoutController c(off);
+    EXPECT_EQ(c.update(0.0, 1e6, 1e6), BrownoutLevel::Full);
+    EXPECT_EQ(c.transitions(), 0u);
+}
+
+ServerOptions
+overloadOptions(uint64_t seed = 1234)
+{
+    ServerOptions o;
+    o.numWorkers = 2;
+    o.maxBatch = 16;
+    o.slaSeconds = 1.5e-3;
+    o.jitterSigma = 0.05;
+    o.seed = seed;
+    o.deadlineSeconds = 1.5e-3;
+    o.brownout = ladder();
+    o.brownout.dwellSeconds = 0.005;
+    return o;
+}
+
+TEST(ServerBrownout, LadderEngagesUnderOverload)
+{
+    Server server(broadwell(), rmc1Small(), TimerOptions{},
+                  overloadOptions());
+    ServingStats stats = server.runOpenLoop(400'000.0, 6'000);
+    EXPECT_EQ(stats.offeredItems(), 6'000u);
+    EXPECT_GT(stats.brownoutTransitions, 0u);
+    uint64_t degraded = 0;
+    for (int l = 1; l < kBrownoutLevels; ++l)
+        degraded += stats.brownoutItems[l];
+    EXPECT_GT(degraded, 0u);
+    // Quality is an average over served items: below full fidelity
+    // once any level >= 1 item is served, never below the L3 floor.
+    EXPECT_LT(stats.qualityScore(), 1.0);
+    EXPECT_GE(stats.qualityScore(),
+              overloadOptions().brownout.qualityScore(
+                  BrownoutLevel::StaleEmbeddings));
+}
+
+TEST(ServerBrownout, LightLoadStaysAtFullFidelity)
+{
+    Server server(broadwell(), rmc1Small(), TimerOptions{},
+                  overloadOptions());
+    ServingStats stats = server.runOpenLoop(1'000.0, 500);
+    EXPECT_EQ(stats.brownoutTransitions, 0u);
+    EXPECT_EQ(stats.finalBrownoutLevel, 0u);
+    EXPECT_DOUBLE_EQ(stats.qualityScore(), 1.0);
+    EXPECT_EQ(stats.brownoutItems[0], stats.completedItems());
+}
+
+TEST(ServerBrownout, LadderImprovesGoodputUnderOverload)
+{
+    // The acceptance property in miniature: at ~2x saturation the
+    // ladder must beat the deadline-only configuration's goodput.
+    ServerOptions with = overloadOptions();
+    ServerOptions without = overloadOptions();
+    without.brownout = BrownoutOptions{};
+    Server a(broadwell(), rmc1Small(), TimerOptions{}, with);
+    Server b(broadwell(), rmc1Small(), TimerOptions{}, without);
+    ServingStats sa = a.runOpenLoop(400'000.0, 6'000);
+    ServingStats sb = b.runOpenLoop(400'000.0, 6'000);
+    EXPECT_GT(sa.deadlineGoodput(), sb.deadlineGoodput());
+}
+
+void
+expectBitwiseEqual(const ServingStats &a, const ServingStats &b)
+{
+    EXPECT_EQ(a.slaMet, b.slaMet);
+    EXPECT_EQ(a.slaMissed, b.slaMissed);
+    EXPECT_EQ(a.shedAdmissionDeadline, b.shedAdmissionDeadline);
+    EXPECT_EQ(a.deadlineShedQueue, b.deadlineShedQueue);
+    EXPECT_EQ(a.deadlineCancelled, b.deadlineCancelled);
+    EXPECT_EQ(a.brownoutTransitions, b.brownoutTransitions);
+    EXPECT_EQ(a.finalBrownoutLevel, b.finalBrownoutLevel);
+    for (int l = 0; l < kBrownoutLevels; ++l)
+        EXPECT_EQ(a.brownoutItems[l], b.brownoutItems[l]);
+    EXPECT_EQ(a.qualitySum, b.qualitySum);
+    ASSERT_EQ(a.itemLatency.count(), b.itemLatency.count());
+    for (size_t i = 0; i < a.itemLatency.count(); ++i)
+        EXPECT_EQ(a.itemLatency.samples()[i],
+                  b.itemLatency.samples()[i]);
+}
+
+TEST(ServerBrownout, TransitionsDeterministicAcrossThreadCounts)
+{
+    // The ladder reads only virtual-time burn rates, so level
+    // transitions and every derived counter must be bit-identical
+    // whether the host runs the tensor ops on 1 thread or 4.
+    int original = globalThreadCount();
+    setGlobalThreadCount(1);
+    Server one(broadwell(), rmc1Small(), TimerOptions{},
+               overloadOptions());
+    ServingStats a = one.runOpenLoop(400'000.0, 4'000);
+    setGlobalThreadCount(4);
+    Server four(broadwell(), rmc1Small(), TimerOptions{},
+                overloadOptions());
+    ServingStats b = four.runOpenLoop(400'000.0, 4'000);
+    setGlobalThreadCount(original);
+    expectBitwiseEqual(a, b);
+}
+
+TEST(ServerBrownout, DeterministicAcrossRunsPerChaosSeed)
+{
+    // With the chaos fault channels layered on, each seed must
+    // reproduce itself exactly (and accounting must close), across
+    // the seeds the CI chaos job sweeps.
+    for (uint64_t seed : {3ull, 4ull, 6ull}) {
+        ServerOptions opts = overloadOptions(seed);
+        opts.faults.stragglerProb = 0.05;
+        opts.faults.spikeRatePerSec = 50.0;
+        opts.faults.seed = seed;
+        Server a(broadwell(), rmc1Small(), TimerOptions{}, opts);
+        Server b(broadwell(), rmc1Small(), TimerOptions{}, opts);
+        ServingStats sa = a.runOpenLoop(400'000.0, 4'000);
+        ServingStats sb = b.runOpenLoop(400'000.0, 4'000);
+        EXPECT_EQ(sa.offeredItems(), 4'000u);
+        expectBitwiseEqual(sa, sb);
+    }
+}
+
+TEST(ServerBrownout, ValidatesOptions)
+{
+    ServerOptions opts = overloadOptions();
+    opts.brownout.exitFraction = 2.0;
+    EXPECT_THROW(Server(broadwell(), rmc1Small(), TimerOptions{}, opts),
+                 PanicError);
+    opts = overloadOptions();
+    opts.deadlineSeconds = -1.0;
+    EXPECT_THROW(Server(broadwell(), rmc1Small(), TimerOptions{}, opts),
+                 PanicError);
+}
+
+} // namespace
+} // namespace recperf

@@ -61,8 +61,10 @@
 #include "obs/trace.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
+#include "resilience/deadline.hh"
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
+#include "sched/brownout.hh"
 #include "serving/distributed.hh"
 #include "serving/server.hh"
 #include "timing/colocation.hh"
@@ -235,6 +237,20 @@ replicasFromArgs(ArgParser &args, std::string *error)
     return r;
 }
 
+BrownoutOptions
+brownoutFromArgs(ArgParser &args)
+{
+    BrownoutOptions b;
+    b.enabled = args.flag("brownout");
+    b.enterBurn = args.optionDouble("brownout-enter");
+    b.escalationGrowth = args.optionDouble("brownout-growth");
+    b.exitFraction = args.optionDouble("brownout-exit");
+    b.dwellSeconds = args.optionDouble("brownout-dwell-ms") / 1e3;
+    b.truncateFraction = args.optionDouble("brownout-truncate");
+    b.skipTableFraction = args.optionDouble("brownout-skip-tables");
+    return b;
+}
+
 /**
  * Rejects nonsensical serve/shard configurations (negative rates,
  * impossible retry/hedge combinations, bad replica counts) with a
@@ -254,6 +270,9 @@ validateServingArgs(ArgParser &args, const std::string &command)
                          static_cast<long long>(args.optionInt("batch")));
 
     std::string err = faultsFromArgs(args).validate();
+    if (!err.empty())
+        return err;
+    err = validateDeadlineSeconds(args.optionDouble("deadline-ms") / 1e3);
     if (!err.empty())
         return err;
     if (args.optionDouble("mtbf-ms") > 0.0 &&
@@ -292,6 +311,21 @@ validateServingArgs(ArgParser &args, const std::string &command)
                                  args.optionInt("degrade-batch")));
         if (!(err = validateDegradeOptions(degrade)).empty())
             return err;
+        BrownoutOptions brownout = brownoutFromArgs(args);
+        if (!brownout.enabled) {
+            static const char *const kBrownoutKnobs[] = {
+                "brownout-enter", "brownout-growth", "brownout-exit",
+                "brownout-dwell-ms", "brownout-truncate",
+                "brownout-skip-tables"};
+            for (const char *knob : kBrownoutKnobs) {
+                if (args.explicitlySet(knob)) {
+                    return strprintf("--%s has no effect without "
+                                     "--brownout", knob);
+                }
+            }
+        }
+        if (!(err = brownout.validate()).empty())
+            return err;
         int64_t cluster = args.optionInt("cluster-replicas");
         int64_t healthy = args.optionInt("healthy-replicas");
         if (cluster < 1)
@@ -307,6 +341,9 @@ validateServingArgs(ArgParser &args, const std::string &command)
     }
 
     if (command == "shard") {
+        if (args.flag("brownout"))
+            return "--brownout applies to serve only (shard degrades "
+                   "via --deadline-ms, retries, and hedges)";
         if (args.optionInt("nodes") < 1)
             return strprintf("--nodes must be >= 1 (got %lld)",
                              static_cast<long long>(
@@ -443,6 +480,8 @@ cmdServe(ArgParser &args)
         static_cast<uint32_t>(args.optionInt("cluster-replicas"));
     sopts.healthyReplicas =
         static_cast<uint32_t>(args.optionInt("healthy-replicas"));
+    sopts.deadlineSeconds = args.optionDouble("deadline-ms") / 1e3;
+    sopts.brownout = brownoutFromArgs(args);
     FaultOptions faults = faultsFromArgs(args);
     faults.shardMtbfSeconds = 0.0; // shard failures only apply to shard
     sopts.faults = faults;
@@ -466,6 +505,12 @@ cmdServe(ArgParser &args)
     }
     std::printf("  offered rate:  %10.0f items/s\n",
                 args.optionDouble("rate"));
+    if (sopts.deadlineSeconds > 0.0) {
+        std::printf("  deadline:      %10.1f ms budget%s\n",
+                    sopts.deadlineSeconds * 1e3,
+                    sopts.brownout.enabled ? ", brownout ladder armed"
+                                           : "");
+    }
     stats.exportTo(obs::MetricsRegistry::global());
     std::fputs(ServingStats::summarize(
                    obs::MetricsRegistry::global().snapshot())
@@ -484,6 +529,12 @@ printResilientResult(const ResilientShardedResult &r)
                 r.availability() * 100);
     std::printf("  failed:        %10llu (retry exhaustion)\n",
                 static_cast<unsigned long long>(r.failed));
+    if (r.deadlineExpired || r.deadlineFastFails) {
+        std::printf("  deadline-shed: %10llu cancelled (%llu fail-fast "
+                    "skips)\n",
+                    static_cast<unsigned long long>(r.deadlineExpired),
+                    static_cast<unsigned long long>(r.deadlineFastFails));
+    }
     std::printf("  latency p50:   %10.3f ms\n", r.latency.p(50) * 1e3);
     std::printf("  latency p99:   %10.3f ms\n", r.latency.p(99) * 1e3);
     std::printf("  goodput:       %10.0f inf/s\n", r.goodput());
@@ -534,6 +585,11 @@ cmdShard(ArgParser &args)
     ropts.faults = faults;
     ropts.retry = retry;
     ropts.hedge = hedge;
+    ropts.deadlineSeconds = args.optionDouble("deadline-ms") / 1e3;
+    if (ropts.deadlineSeconds > 0.0) {
+        std::printf("  deadline:      %10.1f ms budget per inference\n",
+                    ropts.deadlineSeconds * 1e3);
+    }
 
     ChaosSchedule chaos;
     auto chaos_events =
@@ -577,6 +633,11 @@ cmdShard(ArgParser &args)
     printResilientResult(r);
     std::printf("  failovers:     %10llu served by a backup replica\n",
                 static_cast<unsigned long long>(r.failovers));
+    if (r.replicaSkips) {
+        std::printf("  replica skips: %10llu EWMA over the remaining "
+                    "deadline budget\n",
+                    static_cast<unsigned long long>(r.replicaSkips));
+    }
     std::printf("  breakers:      %10llu opened, %llu re-closed, %llu "
                 "probes, %llu all-open rejects\n",
                 static_cast<unsigned long long>(r.breakerOpens),
@@ -834,6 +895,23 @@ main(int argc, char **argv)
                    "degraded-mode batch cap (0 = off)");
     args.addOption("backlog-factor", "2",
                    "backlog (in max batches) triggering degraded mode");
+    args.addOption("deadline-ms", "0",
+                   "per-item deadline budget (serve|shard; 0 = off)");
+    args.addFlag("brownout",
+                 "enable the SLO-driven brownout ladder (serve)");
+    args.addOption("brownout-enter", "4",
+                   "short-window burn rate entering ladder level 1");
+    args.addOption("brownout-growth", "2",
+                   "entry-threshold growth per ladder level");
+    args.addOption("brownout-exit", "0.5",
+                   "de-escalate below this fraction of the entry "
+                   "threshold (hysteresis)");
+    args.addOption("brownout-dwell-ms", "20",
+                   "minimum time between ladder transitions");
+    args.addOption("brownout-truncate", "0.5",
+                   "candidate-set fraction kept at level >= 1");
+    args.addOption("brownout-skip-tables", "0.5",
+                   "SLS work fraction skipped at level 2");
     args.addOption("low-priority", "0.2",
                    "fraction of items droppable when degraded");
     args.addFlag("help", "show this help");
