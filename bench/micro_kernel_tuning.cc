@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Kernel-engine benchmark: tuned/memoized microkernels vs the generic
+ * baseline, ISA-tier crossover, and end-to-end eval speedup.
+ *
+ * Four suites, one BENCH_kernel_tuning.json:
+ *  - gemm: Table 1 FC shapes, scalar-generic vs auto-tuned GFLOP/s
+ *    (plus each pinned vector tier for the variant trajectory);
+ *  - sls: Table 1 embedding shapes, float and int8, scalar-generic vs
+ *    auto-tuned Mlookups/s;
+ *  - crossover: batch sweep at fixed (n, k) with avx2 vs avx512
+ *    pinned, the measured counterpart of SimdModel's predicted
+ *    crossover (EXPERIMENTS.md cross-references Figures 8/10);
+ *  - eval: RMC3 forward throughput, scalar-generic vs auto-tuned,
+ *    cold (first call pays the tuning sweeps) vs warm (dispatch is
+ *    one atomic load).
+ *
+ * Asserts the engine's two contracts on the way out: warm >= cold,
+ * and auto-tuned >= 1.2x scalar-generic eval throughput whenever a
+ * vector tier is available.
+ *
+ *   micro_kernel_tuning [--quick] [--min-time 0.2] [--rows-cap 65536]
+ *                       [--out file.json]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/args.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/thread_pool.hh"
+#include "machine/simd.hh"
+#include "model/rec_model.hh"
+#include "model/zoo.hh"
+#include "ops/fully_connected.hh"
+#include "ops/kernel_cache.hh"
+#include "ops/microkernels.hh"
+#include "ops/quantized_embedding.hh"
+#include "ops/sparse_lengths_sum.hh"
+#include "tensor/tensor.hh"
+
+using namespace recperf;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Repeats fn, doubling the iteration count until min_time elapses. */
+template <typename Fn>
+double
+secondsPerIter(Fn fn, double min_time)
+{
+    fn(); // warm-up (and first-touch tuning, outside the timed region)
+    int64_t iters = 1;
+    for (;;) {
+        double start = now();
+        for (int64_t i = 0; i < iters; ++i)
+            fn();
+        double elapsed = now() - start;
+        if (elapsed >= min_time)
+            return elapsed / static_cast<double>(iters);
+        iters *= 2;
+    }
+}
+
+/** Engine configurations the suites compare. */
+struct EngineMode
+{
+    const char *name;
+    IsaPolicy policy;
+    bool tuned;
+};
+
+/** scalar-generic baseline + auto-tuned + each usable pinned tier. */
+std::vector<EngineMode>
+engineModes()
+{
+    std::vector<EngineMode> modes;
+    modes.push_back({"scalar-generic",
+                     IsaPolicy{false, KernelIsa::Scalar}, false});
+    modes.push_back({"auto-tuned", IsaPolicy{}, true});
+    for (int t = 0; t <= static_cast<int>(detectIsa()); ++t) {
+        KernelIsa isa = static_cast<KernelIsa>(t);
+        if (!microkernels::kernelsFor(isa).available)
+            continue;
+        static const char *kTunedName[] = {"scalar-tuned", "avx2-tuned",
+                                           "avx512-tuned"};
+        modes.push_back({kTunedName[t], IsaPolicy{false, isa}, true});
+    }
+    return modes;
+}
+
+void
+applyMode(const EngineMode &mode)
+{
+    // Each setter clears the cache, so every mode starts cold and the
+    // warm-up iteration inside secondsPerIter absorbs the re-tune.
+    KernelCache::global().setPolicy(mode.policy);
+    KernelCache::global().setTuningEnabled(mode.tuned);
+}
+
+struct GemmCase
+{
+    const char *name;
+    int64_t m, n, k;
+};
+
+const GemmCase kGemmCases[] = {
+    {"rmc1-bottom0-b256", 256, 128, 128},
+    {"rmc1-top0-b256", 256, 128, 160},
+    {"rmc3-bottom0-b64", 64, 2560, 2048},
+    {"rmc3-bottom1-b64", 64, 256, 2560},
+    {"rmc3-top0-b64", 64, 512, 256},
+};
+
+struct SlsCase
+{
+    const char *name;
+    int64_t rows, dim, lookups, batch;
+};
+
+const SlsCase kSlsCases[] = {
+    {"rmc1-table", 200'000, 32, 80, 64},
+    {"rmc2-table", 2'000'000, 32, 80, 16},
+    {"rmc3-table", 2'000'000, 32, 20, 64},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_kernel_tuning",
+                   "tuned kernel engine vs generic baseline");
+    args.addOption("min-time", "0.2", "seconds per measurement");
+    args.addOption("rows-cap", "65536",
+                   "max embedding rows per table to allocate");
+    args.addOption("out", "", "write JSON here (default: stdout)");
+    args.addFlag("quick", "reduced sweep for CI smoke runs");
+    args.addFlag("help", "show this help");
+
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    std::string error;
+    if (!args.parse(raw, &error)) {
+        std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                     args.helpText().c_str());
+        return 2;
+    }
+    if (args.flag("help")) {
+        std::printf("%s", args.helpText().c_str());
+        return 0;
+    }
+
+    const bool quick = args.flag("quick");
+    double min_time = args.optionDouble("min-time");
+    if (quick)
+        min_time = std::min(min_time, 0.05);
+    int64_t rows_cap = args.optionInt("rows-cap");
+    Rng rng(7);
+
+    bench::banner("micro_kernel_tuning — shape-specialized kernel engine");
+    std::printf("detected ISA: %s\n", kernelIsaName(detectIsa()));
+
+    bench::JsonWriter json("micro_kernel_tuning");
+    json.machine().add("isa_detected", kernelIsaName(detectIsa()));
+    json.config()
+        .add("min_time_s", min_time)
+        .add("rows_cap", static_cast<int64_t>(rows_cap))
+        .add("quick", quick);
+
+    const std::vector<EngineMode> modes = engineModes();
+
+    // ------------------------------------------------------- GEMM suite
+    bench::section("GEMM (C[m,n] = A[m,k] * B[n,k]^T)");
+    for (const GemmCase &gc : kGemmCases) {
+        if (quick && gc.k > 1024)
+            continue; // the wide RMC3 shapes dominate quick runtime
+        Tensor a({gc.m, gc.k}), b({gc.n, gc.k}), c({gc.m, gc.n});
+        a.fillUniform(rng, -1.0f, 1.0f);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        double flops = 2.0 * static_cast<double>(gc.m) *
+            static_cast<double>(gc.n) * static_cast<double>(gc.k);
+        std::printf("%-20s m=%-4lld n=%-4lld k=%-4lld\n", gc.name,
+                    static_cast<long long>(gc.m),
+                    static_cast<long long>(gc.n),
+                    static_cast<long long>(gc.k));
+        double baseline = 0.0;
+        for (const EngineMode &mode : modes) {
+            applyMode(mode);
+            double s = secondsPerIter(
+                [&] {
+                    gemmBt(a.data(), b.data(), c.data(), gc.m, gc.n,
+                           gc.k, /*accumulate=*/false);
+                },
+                min_time);
+            if (baseline == 0.0)
+                baseline = s;
+            std::printf("  %-15s %8.2f GFLOP/s  %5.2fx\n", mode.name,
+                        flops / s / 1e9, baseline / s);
+            json.newResult()
+                .add("suite", "gemm")
+                .add("name", gc.name)
+                .add("mode", mode.name)
+                .add("m", gc.m)
+                .add("n", gc.n)
+                .add("k", gc.k)
+                .add("seconds_per_iter", s)
+                .add("gflops", flops / s / 1e9)
+                .add("speedup_vs_generic", baseline / s);
+        }
+    }
+
+    // -------------------------------------------------------- SLS suite
+    bench::section("SparseLengthsSum (float + int8)");
+    for (const SlsCase &sc : kSlsCases) {
+        int64_t rows = std::min(sc.rows, rows_cap);
+        EmbeddingTable table(rows, sc.dim, rng);
+        QuantizedEmbeddingTable qtable(table);
+        std::vector<int64_t> ids;
+        std::vector<int64_t> lengths(static_cast<size_t>(sc.batch),
+                                     sc.lookups);
+        for (int64_t i = 0; i < sc.batch * sc.lookups; ++i)
+            ids.push_back(static_cast<int64_t>(
+                rng.nextBelow(static_cast<uint64_t>(rows))));
+        double lookups_per_iter =
+            static_cast<double>(sc.batch * sc.lookups);
+        std::printf("%-20s %lld rows, dim %lld, %lld lookups x batch "
+                    "%lld\n", sc.name, static_cast<long long>(rows),
+                    static_cast<long long>(sc.dim),
+                    static_cast<long long>(sc.lookups),
+                    static_cast<long long>(sc.batch));
+        for (bool quantized : {false, true}) {
+            for (const EngineMode &mode : modes) {
+                applyMode(mode);
+                double s = secondsPerIter(
+                    [&] {
+                        if (quantized)
+                            (void)qtable.forward(ids, lengths,
+                                                 SlsReduction::Sum);
+                        else
+                            (void)table.forward(ids, lengths,
+                                                SlsReduction::Sum);
+                    },
+                    min_time);
+                std::printf("  %-5s %-15s %8.2f Mlookups/s\n",
+                            quantized ? "int8" : "fp32", mode.name,
+                            lookups_per_iter / s / 1e6);
+                json.newResult()
+                    .add("suite", "sls")
+                    .add("name", sc.name)
+                    .add("mode", mode.name)
+                    .add("quantized", quantized)
+                    .add("rows", rows)
+                    .add("dim", sc.dim)
+                    .add("lookups", sc.lookups)
+                    .add("batch", sc.batch)
+                    .add("seconds_per_iter", s)
+                    .add("mlookups_per_s", lookups_per_iter / s / 1e6);
+            }
+        }
+    }
+
+    // -------------------------------------------------- crossover suite
+    // Fixed FC layer (n, k) = (256, 256), batch swept: where does
+    // avx512 overtake avx2? SimdModel predicts the frequency-license
+    // crossover; this measures it on the host (EXPERIMENTS.md).
+    bench::section("ISA crossover (n=256, k=256, batch sweep)");
+    {
+        const int64_t kN = 256, kK = 256;
+        std::vector<int64_t> batches =
+            quick ? std::vector<int64_t>{1, 16, 256}
+                  : std::vector<int64_t>{1, 2, 4, 8, 16, 32, 64, 128,
+                                         256};
+        std::vector<KernelIsa> tiers;
+        for (int t = 0; t <= static_cast<int>(detectIsa()); ++t)
+            if (microkernels::kernelsFor(static_cast<KernelIsa>(t))
+                    .available)
+                tiers.push_back(static_cast<KernelIsa>(t));
+        Tensor b({kN, kK});
+        b.fillUniform(rng, -1.0f, 1.0f);
+        for (int64_t m : batches) {
+            Tensor a({m, kK}), c({m, kN});
+            a.fillUniform(rng, -1.0f, 1.0f);
+            double flops = 2.0 * static_cast<double>(m * kN * kK);
+            std::printf("  batch %-4lld:", static_cast<long long>(m));
+            for (KernelIsa isa : tiers) {
+                applyMode({"pinned", IsaPolicy{false, isa}, true});
+                double s = secondsPerIter(
+                    [&] {
+                        gemmBt(a.data(), b.data(), c.data(), m, kN, kK,
+                               false);
+                    },
+                    min_time);
+                std::printf("  %s %7.2f GF/s", kernelIsaName(isa),
+                            flops / s / 1e9);
+                json.newResult()
+                    .add("suite", "crossover")
+                    .add("isa", kernelIsaName(isa))
+                    .add("m", m)
+                    .add("n", kN)
+                    .add("k", kK)
+                    .add("seconds_per_iter", s)
+                    .add("gflops", flops / s / 1e9);
+            }
+            std::printf("\n");
+        }
+    }
+
+    // ------------------------------------------------------- eval suite
+    // End-to-end RMC3 forward: the acceptance anchor. Cold pays every
+    // first-touch tuning sweep inside one forward; warm is pure
+    // dispatch.
+    bench::section("RMC3 eval (end-to-end forward)");
+    double scalar_generic_qps = 0.0, tuned_qps = 0.0;
+    double cold_s = 0.0, warm_s = 0.0;
+    {
+        ModelConfig cfg = rmc3Small().functionalScale(rows_cap);
+        Rng model_rng(11);
+        RecModel model(cfg, model_rng);
+        const int64_t batch = quick ? 16 : 64;
+        ModelInput input = model.randomInput(batch, model_rng);
+
+        for (const EngineMode &mode :
+             {EngineMode{"scalar-generic",
+                         IsaPolicy{false, KernelIsa::Scalar}, false},
+              EngineMode{"auto-tuned", IsaPolicy{}, true}}) {
+            applyMode(mode);
+            double cold = now();
+            (void)model.forward(input);
+            cold = now() - cold;
+            double warm = secondsPerIter(
+                [&] { (void)model.forward(input); }, min_time);
+            double qps = static_cast<double>(batch) / warm;
+            std::printf("  %-15s cold %8.3f ms  warm %8.3f ms  %8.1f "
+                        "samples/s\n", mode.name, cold * 1e3,
+                        warm * 1e3, qps);
+            json.newResult()
+                .add("suite", "eval")
+                .add("name", "rmc3-small")
+                .add("mode", mode.name)
+                .add("batch", batch)
+                .add("cold_seconds", cold)
+                .add("warm_seconds_per_iter", warm)
+                .add("samples_per_s", qps);
+            if (mode.tuned) {
+                tuned_qps = qps;
+                cold_s = cold;
+                warm_s = warm;
+            } else {
+                scalar_generic_qps = qps;
+            }
+        }
+        std::printf("  tuned vs scalar-generic: %.2fx\n",
+                    tuned_qps / scalar_generic_qps);
+        json.newResult()
+            .add("suite", "eval")
+            .add("name", "rmc3-small")
+            .add("mode", "summary")
+            .add("tuned_speedup_vs_generic",
+                 tuned_qps / scalar_generic_qps)
+            .add("warm_over_cold", cold_s / warm_s);
+    }
+
+    // Contracts: warm dispatch must beat the cold tuning run, and on a
+    // vector-capable host the tuned engine must clear the 1.2x bar.
+    RP_ASSERT(warm_s <= cold_s,
+              "warm eval (%.3f ms) slower than cold (%.3f ms)",
+              warm_s * 1e3, cold_s * 1e3);
+    if (microkernels::kernelsFor(KernelIsa::Avx2).available &&
+        detectIsa() >= KernelIsa::Avx2) {
+        RP_ASSERT(tuned_qps >= 1.2 * scalar_generic_qps,
+                  "tuned eval %.1f samples/s < 1.2x scalar-generic "
+                  "%.1f samples/s", tuned_qps, scalar_generic_qps);
+    }
+
+    // Leave the global cache in the default state for good hygiene.
+    KernelCache::global().setPolicy(IsaPolicy{});
+    KernelCache::global().setTuningEnabled(true);
+
+    RP_ASSERT(json.writeOrPrint(args.option("out")), "JSON write failed");
+    return 0;
+}

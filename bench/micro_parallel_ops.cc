@@ -26,6 +26,7 @@
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
+#include "machine/simd.hh"
 #include "ops/fully_connected.hh"
 #include "ops/sparse_lengths_sum.hh"
 #include "tensor/tensor.hh"
@@ -250,6 +251,7 @@ main(int argc, char **argv)
 
     bench::banner("micro_parallel_ops — intra-/inter-op thread scaling");
     bench::JsonWriter json("micro_parallel_ops");
+    json.machine().add("isa_detected", kernelIsaName(detectIsa()));
     json.config()
         .add("min_time_s", min_time)
         .add("threads", args.option("threads"))

@@ -28,7 +28,17 @@ Checks, in order:
      are ordered, and serving.batches.total agrees with the number of
      batch spans in the trace.
 
+With --ops-only, checks 2 and 3 are skipped: op-level traces (e.g.
+`recperf eval --trace`) run everything on wall-clock lanes and have no
+serve/batch spans to reconcile against. Every other check still runs.
+
+With --require-track PREFIX (repeatable), at least one counter track
+whose name starts with PREFIX must exist — turns check 5's "counters
+are opt-in" default into a hard presence gate for runs that are
+expected to emit them (e.g. the kernel.* cache counters).
+
 Usage: check_trace.py TRACE.json [METRICS.json] [--tolerance 0.01]
+                      [--ops-only] [--require-track PREFIX]...
 Exits 0 when every check passes, 1 otherwise.
 """
 
@@ -253,19 +263,37 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("metrics", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.01)
+    ap.add_argument("--ops-only", action="store_true",
+                    help="skip nesting + op/batch reconciliation "
+                         "(for eval traces with no serving layer)")
+    ap.add_argument("--require-track", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail unless a counter track with this name "
+                         "prefix exists (repeatable)")
     args = ap.parse_args()
 
     trace = load_json(args.trace)
     spans, counters, instants = check_schema(trace)
-    nested = check_nesting(spans)
-    rel = check_reconciliation(spans, args.tolerance)
+    if args.ops_only:
+        nested, rel = 0, 0.0
+    else:
+        nested = check_nesting(spans)
+        rel = check_reconciliation(spans, args.tolerance)
     metrics = load_json(args.metrics) if args.metrics else None
     overload = check_overload_events(instants, metrics)
     tracks = check_counters(counters, metrics)
+    track_names = {name for ev in counters
+                   for name in (ev["name"],)}
+    for prefix in args.require_track:
+        if not any(name.startswith(prefix) for name in track_names):
+            fail(f"no counter track with prefix '{prefix}' "
+                 f"(tracks: {sorted(track_names) or 'none'})")
     if metrics is not None:
         check_metrics(metrics, spans)
-    print(f"check_trace: OK ({len(spans)} spans, {nested} nesting-checked, "
-          f"op/batch reconcile within {rel * 100:.3f}%, "
+    recon = ("ops-only (nesting/reconcile skipped)" if args.ops_only
+             else f"{nested} nesting-checked, op/batch reconcile "
+                  f"within {rel * 100:.3f}%")
+    print(f"check_trace: OK ({len(spans)} spans, {recon}, "
           f"{overload} deadline/brownout event(s), "
           f"{len(counters)} counter events on {tracks} track(s)"
           f"{', metrics ok' if metrics is not None else ''})")

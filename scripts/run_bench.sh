@@ -3,6 +3,8 @@
 # repo root so the perf trajectory is tracked in-tree:
 #
 #  - BENCH_parallel_ops.json: thread-scaling of the parallel engine
+#  - BENCH_kernel_tuning.json: tuned microkernel engine vs generic
+#    baseline (GEMM/SLS/crossover/eval suites; stamps detected ISA)
 #  - BENCH_failover.json: availability + p99 vs replica count under
 #    injected shard failures (MTBF = 10x MTTR)
 #  - BENCH_brownout.json: goodput + served p99 under 1.5x overload
@@ -17,10 +19,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build
-cmake --build build --target micro_parallel_ops study_failover study_brownout
+cmake --build build --target micro_parallel_ops micro_kernel_tuning \
+    study_failover study_brownout
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
+
+./build/bench/micro_kernel_tuning --out BENCH_kernel_tuning.json
+echo "wrote $(pwd)/BENCH_kernel_tuning.json"
 
 ./build/bench/study_failover --out BENCH_failover.json
 echo "wrote $(pwd)/BENCH_failover.json"

@@ -76,4 +76,59 @@ makeAvx512Model()
     return m;
 }
 
+const char *
+kernelIsaName(KernelIsa isa)
+{
+    switch (isa) {
+      case KernelIsa::Scalar: return "scalar";
+      case KernelIsa::Avx2: return "avx2";
+      case KernelIsa::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+static KernelIsa
+probeHostIsa()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f"))
+        return KernelIsa::Avx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return KernelIsa::Avx2;
+#endif
+    return KernelIsa::Scalar;
+}
+
+KernelIsa
+detectIsa()
+{
+    static const KernelIsa host = probeHostIsa();
+    return host;
+}
+
+std::string
+isaPolicyFromName(const std::string &name, IsaPolicy *out)
+{
+    IsaPolicy policy;
+    if (name == "auto" || name.empty()) {
+        policy.autoSelect = true;
+    } else if (name == "scalar") {
+        policy = {false, KernelIsa::Scalar};
+    } else if (name == "avx2") {
+        policy = {false, KernelIsa::Avx2};
+    } else if (name == "avx512") {
+        policy = {false, KernelIsa::Avx512};
+    } else {
+        return "unknown ISA '" + name +
+               "' (expected scalar|avx2|avx512|auto)";
+    }
+    if (!policy.autoSelect && policy.pinned > detectIsa()) {
+        return std::string("this host does not support --isa=") + name +
+               " (detected: " + kernelIsaName(detectIsa()) + ")";
+    }
+    if (out)
+        *out = policy;
+    return "";
+}
+
 } // namespace recperf

@@ -19,6 +19,7 @@
 #define RECPERF_MACHINE_SIMD_HH
 
 #include <cstdint>
+#include <string>
 
 namespace recperf {
 
@@ -79,6 +80,60 @@ SimdModel makeAvx2Model(double fma_ports = 2.0);
 
 /** Calibrated AVX-512 model (Skylake-class). */
 SimdModel makeAvx512Model();
+
+/**
+ * Vector ISA tiers the *execution engine's* microkernels target (as
+ * opposed to SimdIsa, which parameterizes the analytical timing model).
+ * Ordered: a host that supports a tier supports every lower one.
+ */
+enum class KernelIsa
+{
+    Scalar = 0,
+    Avx2 = 1,   ///< AVX2 + FMA (256-bit)
+    Avx512 = 2, ///< AVX-512F (512-bit)
+};
+
+/** Stable lowercase name ("scalar" / "avx2" / "avx512"). */
+const char *kernelIsaName(KernelIsa isa);
+
+/**
+ * Best vector tier the *host CPU* supports, probed once via CPUID
+ * (cached after the first call). Non-x86 builds report Scalar.
+ * Avx2 requires AVX2+FMA; Avx512 requires AVX-512F.
+ */
+KernelIsa detectIsa();
+
+/**
+ * How the kernel engine picks an ISA: either tune across every tier the
+ * host supports ("auto", the default) or pin one tier. Pinning is the
+ * bitwise-determinism anchor: with a pinned tier, kernel results are
+ * bit-identical across thread counts and cache cold/warm runs.
+ */
+struct IsaPolicy
+{
+    bool autoSelect = true;
+    KernelIsa pinned = KernelIsa::Scalar; ///< used when !autoSelect
+
+    /** Highest tier this policy permits on this host. */
+    KernelIsa resolved() const
+    {
+        return autoSelect ? detectIsa() : pinned;
+    }
+
+    /** True when the policy allows dispatching to @p isa. */
+    bool allows(KernelIsa isa) const
+    {
+        return autoSelect ? isa <= detectIsa() : isa == pinned;
+    }
+};
+
+/**
+ * Parse "scalar" / "avx2" / "avx512" / "auto" into @p out, validating
+ * pinned tiers against detectIsa(). Returns "" on success, else a
+ * human-readable error (unknown name, or the host lacks the tier) —
+ * the CLI turns that into exit code 2 before any kernel runs.
+ */
+std::string isaPolicyFromName(const std::string &name, IsaPolicy *out);
 
 } // namespace recperf
 

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shared microkernel bodies, templated over an ISA "Ops" policy.
+ *
+ * Included by exactly the per-ISA translation units
+ * (microkernels_{scalar,avx2,avx512}.cc); each defines an Ops struct
+ * (vector type, lane count, accumulator-chain count, load/madd/reduce
+ * primitives) and instantiates these templates. The loop structure —
+ * and therefore the floating-point association order — is fixed here
+ * once, so a tier's results cannot drift between kernels: only the
+ * Ops primitives differ.
+ *
+ * An Ops policy provides:
+ *   using V;                        // vector register type
+ *   static constexpr int kLanes;    // fp32 lanes per V
+ *   static constexpr int kAcc;      // independent accumulator chains
+ *   V zero(); V load(const float*); V madd(V a, V b, V acc);
+ *   V add(V, V); void store(float*, V);
+ *   float reduce(const V acc[kAcc]);           // fixed pairwise tree
+ *   V broadcast(float); V loadU8(const uint8_t*);
+ *   V dequantMadd(V v, V scale, V bias);       // v*scale + bias
+ */
+
+#ifndef RECPERF_OPS_MICROKERNELS_IMPL_HH
+#define RECPERF_OPS_MICROKERNELS_IMPL_HH
+
+#include <algorithm>
+
+#include "ops/microkernels.hh"
+
+namespace recperf {
+namespace microkernels {
+
+// Per-ISA kernel-set accessors, one per translation unit. A tier whose
+// ISA the toolchain could not target returns available=false.
+const IsaKernels &scalarKernels();
+const IsaKernels &avx2Kernels();
+const IsaKernels &avx512Kernels();
+
+namespace detail {
+
+/**
+ * One register tile: COLS packed columns against one A row. The K walk
+ * steps kLanes*kAcc floats at a time across pack chunks (chunk edges
+ * are STEP-aligned because kc % kKcQuantum == 0), merges the chains
+ * with Ops::reduce's fixed tree, then folds the ragged tail (< STEP
+ * elements, always inside the last chunk) sequentially — the same
+ * shape the seed dotUnrolled used, independent of kc/nr/blocking.
+ */
+template <class Ops, int COLS>
+inline void
+gemmTile(const float *arow, const float *pack, float *crow, int64_t j0,
+         int64_t w, int64_t k, int64_t kc, bool accumulate)
+{
+    constexpr int64_t STEP =
+        static_cast<int64_t>(Ops::kLanes) * Ops::kAcc;
+    typename Ops::V acc[COLS][Ops::kAcc];
+    for (int c = 0; c < COLS; ++c)
+        for (int a = 0; a < Ops::kAcc; ++a)
+            acc[c][a] = Ops::zero();
+
+    const int64_t k_main = k - (k % STEP);
+    const int64_t chunks = kc > 0 ? (k + kc - 1) / kc : 0;
+    for (int64_t q = 0; q < chunks; ++q) {
+        const int64_t base = q * kc;
+        const int64_t kb = std::min(kc, k - base);
+        const int64_t mb = std::min(kb, k_main - base);
+        const float *x = arow + base;
+        const float *bcol[COLS];
+        for (int c = 0; c < COLS; ++c)
+            bcol[c] = pack + (q * w + j0 + c) * kc;
+        for (int64_t p = 0; p + STEP <= mb; p += STEP) {
+            for (int a = 0; a < Ops::kAcc; ++a) {
+                const int64_t off = p + a * Ops::kLanes;
+                const typename Ops::V xv = Ops::load(x + off);
+                for (int c = 0; c < COLS; ++c)
+                    acc[c][a] =
+                        Ops::madd(xv, Ops::load(bcol[c] + off), acc[c][a]);
+            }
+        }
+    }
+
+    float red[COLS];
+    for (int c = 0; c < COLS; ++c)
+        red[c] = Ops::reduce(acc[c]);
+
+    if (k_main < k) {
+        const int64_t q = chunks - 1;
+        const int64_t base = q * kc;
+        const float *x = arow + base;
+        for (int c = 0; c < COLS; ++c) {
+            const float *bc = pack + (q * w + j0 + c) * kc;
+            float r = red[c];
+            for (int64_t p = k_main - base; p < k - base; ++p)
+                r += x[p] * bc[p];
+            red[c] = r;
+        }
+    }
+
+    for (int c = 0; c < COLS; ++c) {
+        float *out = crow + j0 + c;
+        *out = accumulate ? *out + red[c] : red[c];
+    }
+}
+
+/** Row driver: nr-wide tiles, then the ragged column remainder. The
+ *  per-column arithmetic is identical for every tile width, so nr is
+ *  a bit-neutral tunable. */
+template <class Ops>
+void
+gemmRowImpl(const float *arow, const float *pack, float *crow, int64_t w,
+            int64_t k, int64_t kc, int nr, bool accumulate)
+{
+    int64_t j = 0;
+    if (nr >= 4) {
+        for (; j + 4 <= w; j += 4)
+            gemmTile<Ops, 4>(arow, pack, crow, j, w, k, kc, accumulate);
+    }
+    if (nr >= 2) {
+        for (; j + 2 <= w; j += 2)
+            gemmTile<Ops, 2>(arow, pack, crow, j, w, k, kc, accumulate);
+    }
+    for (; j < w; ++j)
+        gemmTile<Ops, 1>(arow, pack, crow, j, w, k, kc, accumulate);
+}
+
+/** dst += src: element-independent vertical adds — bit-identical to
+ *  scalar on every tier and at every unroll. */
+template <class Ops, int U>
+void
+slsAccumImpl(float *dst, const float *src, int64_t dim)
+{
+    constexpr int64_t STEP = static_cast<int64_t>(Ops::kLanes) * U;
+    int64_t c = 0;
+    for (; c + STEP <= dim; c += STEP) {
+        for (int u = 0; u < U; ++u) {
+            const int64_t off = c + u * Ops::kLanes;
+            Ops::store(dst + off,
+                       Ops::add(Ops::load(dst + off), Ops::load(src + off)));
+        }
+    }
+    for (; c < dim; ++c)
+        dst[c] += src[c];
+}
+
+/** dst[c] += codes[c]*scale + bias. Vector tiers fuse the dequantize
+ *  into one FMA rounding; the scalar tail keeps the two-rounding form
+ *  (tolerance contract, not bitwise, across tiers). */
+template <class Ops, int U>
+void
+qslsAccumImpl(float *dst, const uint8_t *codes, float scale, float bias,
+              int64_t dim)
+{
+    constexpr int64_t STEP = static_cast<int64_t>(Ops::kLanes) * U;
+    const typename Ops::V vs = Ops::broadcast(scale);
+    const typename Ops::V vb = Ops::broadcast(bias);
+    int64_t c = 0;
+    for (; c + STEP <= dim; c += STEP) {
+        for (int u = 0; u < U; ++u) {
+            const int64_t off = c + u * Ops::kLanes;
+            const typename Ops::V t =
+                Ops::dequantMadd(Ops::loadU8(codes + off), vs, vb);
+            Ops::store(dst + off, Ops::add(Ops::load(dst + off), t));
+        }
+    }
+    for (; c < dim; ++c) {
+        const float t = static_cast<float>(codes[c]) * scale + bias;
+        dst[c] += t;
+    }
+}
+
+/** Assemble the full kernel set for one Ops policy. */
+template <class Ops>
+IsaKernels
+makeKernels()
+{
+    IsaKernels k;
+    k.available = true;
+    k.gemmRow = &gemmRowImpl<Ops>;
+    k.slsAccum[0] = &slsAccumImpl<Ops, 1>;
+    k.slsAccum[1] = &slsAccumImpl<Ops, 2>;
+    k.qslsAccum[0] = &qslsAccumImpl<Ops, 1>;
+    k.qslsAccum[1] = &qslsAccumImpl<Ops, 2>;
+    return k;
+}
+
+} // namespace detail
+} // namespace microkernels
+} // namespace recperf
+
+#endif // RECPERF_OPS_MICROKERNELS_IMPL_HH

@@ -1,12 +1,14 @@
 #include "ops/quantized_embedding.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
 #include "obs/trace.hh"
+#include "ops/kernel_cache.hh"
 
 namespace recperf {
 
@@ -78,20 +80,33 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
             lengths[static_cast<size_t>(slot)];
     }
 
+    // Fused dequantize-accumulate through the tuned kernel: no scratch
+    // row, and vector tiers fold the mul-add into one FMA (tolerance,
+    // not bitwise, vs the scalar tier — DESIGN.md §14).
+    const KernelCache::SlsEntry &entry = KernelCache::global().sls(
+        dim_, poolingBucket(slots > 0 ? total / slots : 0),
+        /*quantized=*/true);
+    const microkernels::QslsAccumFn accum = entry.plan.qfn;
+
     Tensor out({slots, dim_});
     int64_t grain = std::max<int64_t>(
         1, 4096 / std::max<int64_t>(1, dim_));
+    const auto t0 = std::chrono::steady_clock::now();
     parallelFor(0, slots, grain, [&](int64_t lo, int64_t hi) {
-        std::vector<float> row(static_cast<size_t>(dim_));
         for (int64_t slot = lo; slot < hi; ++slot) {
             size_t cursor =
                 static_cast<size_t>(offsets[static_cast<size_t>(slot)]);
             int64_t len = lengths[static_cast<size_t>(slot)];
             float *dst = out.data() + slot * dim_;
             for (int64_t j = 0; j < len; ++j) {
-                dequantizeRow(ids[cursor++], row.data());
-                for (int64_t c = 0; c < dim_; ++c)
-                    dst[c] += row[static_cast<size_t>(c)];
+                int64_t id = ids[cursor++];
+                RP_ASSERT(id >= 0 && id < rows_,
+                          "sparse ID %lld out of table rows %lld",
+                          static_cast<long long>(id),
+                          static_cast<long long>(rows_));
+                accum(dst, codes_.data() + id * dim_,
+                      scales_[static_cast<size_t>(id)],
+                      biases_[static_cast<size_t>(id)], dim_);
             }
             if (reduction == SlsReduction::Mean && len > 0) {
                 float inv = 1.0f / static_cast<float>(len);
@@ -100,6 +115,10 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
             }
         }
     });
+    entry.recordCall(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     return out;
 }
 

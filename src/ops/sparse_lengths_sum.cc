@@ -1,12 +1,14 @@
 #include "ops/sparse_lengths_sum.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
 #include "obs/trace.hh"
+#include "ops/kernel_cache.hh"
 
 namespace recperf {
 
@@ -52,10 +54,19 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
             lengths[static_cast<size_t>(slot)];
     }
 
+    // The cache key buckets average pooling: the row-accumulate kernel
+    // (vector tier + unroll) is what tuning picks, and element-wise
+    // vertical adds keep every tier bit-identical to scalar.
+    const KernelCache::SlsEntry &entry = KernelCache::global().sls(
+        dim_, poolingBucket(slots > 0 ? total / slots : 0),
+        /*quantized=*/false);
+    const microkernels::SlsAccumFn accum = entry.plan.fn;
+
     Tensor out({slots, dim_});
     // Aim for chunks of at least ~4K gathered floats.
     int64_t grain = std::max<int64_t>(
         1, 4096 / std::max<int64_t>(1, dim_));
+    const auto t0 = std::chrono::steady_clock::now();
     parallelFor(0, slots, grain, [&](int64_t lo, int64_t hi) {
         for (int64_t slot = lo; slot < hi; ++slot) {
             size_t cursor =
@@ -68,9 +79,7 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
                           "sparse ID %lld out of table rows %lld",
                           static_cast<long long>(id),
                           static_cast<long long>(rows_));
-                const float *src = table_.data() + id * dim_;
-                for (int64_t c = 0; c < dim_; ++c)
-                    dst[c] += src[c];
+                accum(dst, table_.data() + id * dim_, dim_);
             }
             if (reduction == SlsReduction::Mean && len > 0) {
                 float inv = 1.0f / static_cast<float>(len);
@@ -79,6 +88,10 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
             }
         }
     });
+    entry.recordCall(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     return out;
 }
 

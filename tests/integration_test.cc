@@ -9,9 +9,11 @@
 
 #include "core/rng.hh"
 #include "machine/machine_spec.hh"
+#include "machine/simd.hh"
 #include "model/ncf.hh"
 #include "model/rec_model.hh"
 #include "model/zoo.hh"
+#include "ops/kernel_cache.hh"
 #include "serving/server.hh"
 #include "timing/colocation.hh"
 #include "timing/model_timer.hh"
@@ -190,6 +192,29 @@ TEST(Integration, TraceLocalityChangesSlsTime)
     double s_random =
         t_random.steadyState(15, 10).secondsByKind(OpKind::SLS);
     EXPECT_LT(s_local, 0.8 * s_random);
+}
+
+TEST(Integration, KernelCacheDumpReflectsModelForward)
+{
+    // The path `recperf eval --dump-kernel-cache` walks: a model
+    // forward first-touches its GEMM/SLS shapes, and the dump then
+    // names every one of them with a tuned variant. The FC stack's
+    // batch and the embedding dim must both appear as cache keys.
+    KernelCache &cache = KernelCache::global();
+    cache.setPolicy(IsaPolicy{}); // clears to a cold cache
+    ModelConfig cfg = rmc1Small().functionalScale(256);
+    Rng rng(9);
+    RecModel model(cfg, rng);
+    const int64_t batch = 8;
+    (void)model.forward(model.randomInput(batch, rng));
+
+    EXPECT_GT(cache.tuneCount(), 0u);
+    std::string dump = cache.dumpTable();
+    EXPECT_NE(std::string::npos, dump.find("kernel cache:"));
+    EXPECT_NE(std::string::npos, dump.find("gemm m8"));
+    EXPECT_NE(std::string::npos,
+              dump.find("d" + std::to_string(cfg.emb.embDim)));
+    cache.setPolicy(IsaPolicy{});
 }
 
 } // namespace

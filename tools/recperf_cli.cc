@@ -46,6 +46,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -53,7 +54,10 @@
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
+#include "machine/simd.hh"
 #include "model/rec_model.hh"
+#include "ops/kernel_cache.hh"
+#include "ops/microkernels.hh"
 #include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
@@ -418,7 +422,12 @@ obsEnd(ArgParser &args)
 {
     // Export telemetry into the registry before the snapshot so the
     // metrics file carries the final counter values (check_trace.py
-    // cross-checks the trace's counter tracks against them).
+    // cross-checks the trace's counter tracks against them). Kernel
+    // counters follow the same rule: trace tracks first (while the
+    // tracer is still enabled), then the matching metrics export.
+    KernelCache &kcache = KernelCache::global();
+    kcache.emitTraceCounters(obs::Tracer::global());
+    kcache.exportMetrics(obs::MetricsRegistry::global());
     obs::HwTelemetry &telem = obs::HwTelemetry::global();
     if (telem.enabled())
         telem.exportTo(obs::MetricsRegistry::global());
@@ -696,6 +705,26 @@ cmdEval(ArgParser &args)
                 secs * 1e3);
     std::printf("  throughput: %10.0f items/s\n",
                 static_cast<double>(batch) / secs);
+    // FNV-1a over the final forward's output bytes: with a pinned
+    // --isa this line is bit-identical across thread counts and cache
+    // cold/warm runs (CI diffs it as the determinism anchor).
+    Tensor out = model.forward(input);
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(out.data());
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < static_cast<size_t>(out.size()) * sizeof(float);
+         ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    std::printf("  checksum:   %016llx (isa %s)\n",
+                static_cast<unsigned long long>(hash),
+                KernelCache::global().policy().autoSelect
+                    ? "auto"
+                    : kernelIsaName(
+                          KernelCache::global().policy().pinned));
+    if (args.flag("dump-kernel-cache"))
+        std::fputs(KernelCache::global().dumpTable().c_str(), stdout);
     obsEnd(args);
     return 0;
 }
@@ -829,6 +858,12 @@ main(int argc, char **argv)
     args.addOption("threads", "0",
                    "tensor-op worker threads (0 = RECPERF_THREADS or "
                    "hardware)");
+    args.addOption("isa", "auto",
+                   "kernel ISA tier: scalar|avx2|avx512|auto "
+                   "(overrides RECPERF_ISA; pinned tiers are "
+                   "bit-deterministic)");
+    args.addFlag("dump-kernel-cache",
+                 "print the memoized kernel table after eval");
     args.addOption("rows-cap", "4096",
                    "embedding rows cap for eval's functional model");
     args.addOption("nodes", "4", "shard nodes (shard)");
@@ -931,6 +966,37 @@ main(int argc, char **argv)
 
     if (args.optionInt("threads") > 0)
         setGlobalThreadCount(static_cast<int>(args.optionInt("threads")));
+
+    // Resolve the kernel ISA up front (flag > RECPERF_ISA env > auto)
+    // and fail fast — exit 2, like every other argument error — before
+    // any kernel runs. Both sources are validated: a bad env var is an
+    // error even when an explicit --isa would override it.
+    {
+        std::string isa_name = args.option("isa");
+        IsaPolicy policy;
+        std::string err;
+        if (const char *env = std::getenv("RECPERF_ISA")) {
+            err = isaPolicyFromName(env, &policy);
+            if (!err.empty()) {
+                std::fprintf(stderr, "error: RECPERF_ISA: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            if (!args.explicitlySet("isa"))
+                isa_name = env;
+        }
+        err = isaPolicyFromName(isa_name, &policy);
+        if (err.empty() && !policy.autoSelect &&
+            !microkernels::kernelsFor(policy.pinned).available) {
+            err = "ISA tier '" + isa_name +
+                "' was not compiled into this binary";
+        }
+        if (!err.empty()) {
+            std::fprintf(stderr, "error: --isa: %s\n", err.c_str());
+            return 2;
+        }
+        KernelCache::global().setPolicy(policy);
+    }
 
     try {
         if (command == "serve" || command == "shard") {
