@@ -37,8 +37,18 @@ whose name starts with PREFIX must exist — turns check 5's "counters
 are opt-in" default into a hard presence gate for runs that are
 expected to emit them (e.g. the kernel.* cache counters).
 
+With --fault-log FILE (the JSONL written by `recperf shard
+--fault-log-out`), the injected-vs-detected accounting is
+cross-checked end to end: every log line must be valid JSON with a
+known kind, the corruption-event count must equal the exported
+integrity.injected.* counters, detections can never exceed
+injections, and the trace's integrity instants (injected / detected /
+escape / rehydrate) must reconcile with both the log and the
+integrity.* export.
+
 Usage: check_trace.py TRACE.json [METRICS.json] [--tolerance 0.01]
                       [--ops-only] [--require-track PREFIX]...
+                      [--fault-log FILE]
 Exits 0 when every check passes, 1 otherwise.
 """
 
@@ -196,6 +206,100 @@ def check_overload_events(instants, metrics):
     return sum(deadline.values()) + transitions
 
 
+CORRUPTION_KINDS = ("single_bit_flip", "multi_bit_flip", "stuck_row")
+FAULT_LOG_KINDS = CORRUPTION_KINDS + ("node_up", "node_down",
+                                      "load_spike")
+INTEGRITY_EVENTS = ("injected", "detected", "escape", "rehydrate")
+
+
+def load_fault_log(path):
+    """Parse a --fault-log-out JSONL; returns the corruption count."""
+    corruptions = 0
+    try:
+        with open(path) as f:
+            for i, line in enumerate(f):
+                line = line.strip()
+                if not line:
+                    fail(f"{path}:{i + 1}: empty fault-log line")
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{i + 1}: bad JSON: {e}")
+                kind = rec.get("kind")
+                if kind not in FAULT_LOG_KINDS:
+                    fail(f"{path}:{i + 1}: unknown kind {kind!r}")
+                t = rec.get("t")
+                if not isinstance(t, (int, float)) \
+                        or not math.isfinite(t) or t < 0:
+                    fail(f"{path}:{i + 1}: bad event time {t!r}")
+                if kind in CORRUPTION_KINDS:
+                    for key in ("shard", "replica", "table", "row",
+                                "bit"):
+                        if key not in rec:
+                            fail(f"{path}:{i + 1}: corruption event "
+                                 f"missing '{key}'")
+                    corruptions += 1
+    except OSError as e:
+        fail(f"{path}: {e}")
+    return corruptions
+
+
+def check_integrity_events(instants, metrics, log_corruptions):
+    """Reconcile injected-vs-detected accounting; returns instant count.
+
+    The fault log records every corruption the injector drew, so it is
+    the ground truth: the integrity.injected.* export must equal its
+    corruption count, and detections can never exceed injections. The
+    trace's integrity instants are emitted per event (injected: one
+    per event that landed on a live replica; detected: one per row
+    detection, so <= the detected counter which also counts FC hits;
+    escape / rehydrate: exactly one per counted occurrence).
+    Cross-checks are skipped per counter when the export omits it
+    (integrity.* only exports when the defense plane ran).
+    """
+    seen = {}
+    for ev in instants:
+        if ev["cat"] != "integrity":
+            continue
+        if ev["name"] not in INTEGRITY_EVENTS:
+            fail(f"unknown integrity instant '{ev['name']}'")
+        seen[ev["name"]] = seen.get(ev["name"], 0) + 1
+
+    exported = metrics.get("counters", {}) if metrics is not None else {}
+    injected = None
+    if "integrity.injected.rows" in exported:
+        injected = exported["integrity.injected.rows"] + \
+            exported.get("integrity.injected.fc", 0)
+        if log_corruptions is not None and injected != log_corruptions:
+            fail(f"fault log has {log_corruptions} corruption events "
+                 f"but integrity.injected.* exports {injected}")
+        detected = exported.get("integrity.detected.total", 0)
+        if detected > injected:
+            fail(f"integrity.detected.total = {detected} exceeds the "
+                 f"{injected} injected corruptions")
+    elif log_corruptions:
+        fail(f"fault log has {log_corruptions} corruption events but "
+             f"the metrics export has no integrity.injected.* counters")
+
+    upper = injected if injected is not None else log_corruptions
+    if upper is not None and seen.get("injected", 0) > upper:
+        fail(f"trace has {seen['injected']} injected instants but only "
+             f"{upper} corruptions were drawn")
+    if metrics is not None:
+        detected = exported.get("integrity.detected.total")
+        if detected is not None and seen.get("detected", 0) > detected:
+            fail(f"trace has {seen['detected']} detected instants but "
+                 f"integrity.detected.total = {detected}")
+        for name, counter in (("escape",
+                               "integrity.responses.corrupted_served"),
+                              ("rehydrate", "integrity.rehydrates")):
+            want = exported.get(counter)
+            if want is not None and seen.get(name, 0) != want:
+                fail(f"{counter} = {want} but trace has "
+                     f"{seen.get(name, 0)} '{name}' instants")
+    return sum(seen.values())
+
+
 def check_counters(counters, metrics):
     """Validate counter ('C') tracks; returns the number of tracks.
 
@@ -270,6 +374,10 @@ def main():
                     metavar="PREFIX",
                     help="fail unless a counter track with this name "
                          "prefix exists (repeatable)")
+    ap.add_argument("--fault-log", metavar="FILE",
+                    help="JSONL from --fault-log-out: cross-check "
+                         "injected corruption against the integrity.* "
+                         "export and trace instants")
     args = ap.parse_args()
 
     trace = load_json(args.trace)
@@ -281,6 +389,10 @@ def main():
         rel = check_reconciliation(spans, args.tolerance)
     metrics = load_json(args.metrics) if args.metrics else None
     overload = check_overload_events(instants, metrics)
+    log_corruptions = (load_fault_log(args.fault_log)
+                       if args.fault_log else None)
+    integrity = check_integrity_events(instants, metrics,
+                                       log_corruptions)
     tracks = check_counters(counters, metrics)
     track_names = {name for ev in counters
                    for name in (ev["name"],)}
@@ -293,8 +405,11 @@ def main():
     recon = ("ops-only (nesting/reconcile skipped)" if args.ops_only
              else f"{nested} nesting-checked, op/batch reconcile "
                   f"within {rel * 100:.3f}%")
+    log_note = (f", {log_corruptions} logged corruption(s)"
+                if log_corruptions is not None else "")
     print(f"check_trace: OK ({len(spans)} spans, {recon}, "
           f"{overload} deadline/brownout event(s), "
+          f"{integrity} integrity event(s){log_note}, "
           f"{len(counters)} counter events on {tracks} track(s)"
           f"{', metrics ok' if metrics is not None else ''})")
 

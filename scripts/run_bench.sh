@@ -9,6 +9,9 @@
 #    injected shard failures (MTBF = 10x MTTR)
 #  - BENCH_brownout.json: goodput + served p99 under 1.5x overload
 #    with deadline budgets and the brownout ladder on/off
+#  - BENCH_sdc.json: corruption detection rate, escapes and p99 tax
+#    across the (corruption rate x scrub interval x inline sampling)
+#    defense grid
 #
 # All files share the bench::JsonWriter envelope (bench_common.hh):
 #   {schema_version, bench, machine, config, results[]}
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build
 cmake --build build --target micro_parallel_ops micro_kernel_tuning \
-    study_failover study_brownout
+    study_failover study_brownout study_sdc
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
@@ -33,3 +36,6 @@ echo "wrote $(pwd)/BENCH_failover.json"
 
 ./build/bench/study_brownout --out BENCH_brownout.json
 echo "wrote $(pwd)/BENCH_brownout.json"
+
+./build/bench/study_sdc --out BENCH_sdc.json
+echo "wrote $(pwd)/BENCH_sdc.json"

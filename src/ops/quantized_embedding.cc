@@ -8,6 +8,7 @@
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
 #include "obs/trace.hh"
+#include "ops/integrity.hh"
 #include "ops/kernel_cache.hh"
 
 namespace recperf {
@@ -65,6 +66,11 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
     RP_ASSERT(total == static_cast<int64_t>(ids.size()),
               "sum(lengths)=%lld != ids.size()=%zu",
               static_cast<long long>(total), ids.size());
+
+    // Same inline integrity hook as EmbeddingTable::forward: a single
+    // relaxed load when disabled, serial sampled verification when on.
+    if (IntegrityRuntime::global().enabled())
+        IntegrityRuntime::global().onLookup(this, ids);
 
     // Mirrors EmbeddingTable::forward: prefix offsets decouple the
     // slots, the pool fans them out, and the dequantize scratch row is

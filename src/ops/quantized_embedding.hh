@@ -61,6 +61,15 @@ class QuantizedEmbeddingTable
     /** Work accounting for one pooled quantized lookup. */
     static OpCost cost(int64_t total_ids, int64_t outputs, int64_t dim);
 
+    /**
+     * Raw mutable storage views for the integrity/fault layer
+     * (ops/integrity.hh): shields checksum — and fault injection
+     * corrupts — the stored bytes directly, scale/bias included.
+     */
+    uint8_t *codeData() { return codes_.data(); }
+    float *scaleData() { return scales_.data(); }
+    float *biasData() { return biases_.data(); }
+
   private:
     int64_t rows_;
     int64_t dim_;

@@ -8,6 +8,7 @@
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
 #include "obs/trace.hh"
+#include "ops/integrity.hh"
 #include "ops/kernel_cache.hh"
 
 namespace recperf {
@@ -38,6 +39,13 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
     RP_ASSERT(total == static_cast<int64_t>(ids.size()),
               "sum(lengths)=%lld != ids.size()=%zu",
               static_cast<long long>(total), ids.size());
+
+    // Inline sampled integrity verification: one relaxed load when the
+    // runtime is disabled (the default), and serial — ahead of the
+    // parallel fan-out — when on, so sampling stays deterministic
+    // across thread counts.
+    if (IntegrityRuntime::global().enabled())
+        IntegrityRuntime::global().onLookup(this, ids);
 
     // Prefix offsets make each output slot independent, so the slot
     // loop fans out across the pool; each slot's gather keeps its

@@ -33,13 +33,14 @@ FaultOptions::validate() const
     if (spikeRatePerSec > 0.0 && spikeFactor < 1.0)
         return strprintf("spikes only slow things down (factor %g < 1)",
                          spikeFactor);
-    return "";
+    return corruption.validate();
 }
 
 FaultInjector::FaultInjector(const FaultOptions &options,
                              uint32_t num_shards)
     : options_(options), straggler_rng_(options.seed ^ 0x51a6617ab1ULL),
-      spike_rng_(options.seed ^ 0x9c0ffee000ULL)
+      spike_rng_(options.seed ^ 0x9c0ffee000ULL),
+      corruption_rng_(options.seed ^ 0x5dc0ffeeb5ULL)
 {
     std::string err = options_.validate();
     RP_ASSERT(err.empty(), "%s", err.c_str());
@@ -76,6 +77,10 @@ FaultInjector::advanceSpikes(double now)
             in_spike_ = true;
             spike_end_ = next_spike_ + options_.spikeDurationSeconds;
             ++spikes_;
+            if (log_ != nullptr)
+                log_->recordSpike(next_spike_,
+                                  options_.spikeDurationSeconds,
+                                  options_.spikeFactor);
         } else {
             if (spike_end_ > now)
                 break;
@@ -84,6 +89,94 @@ FaultInjector::advanceSpikes(double now)
                 spike_rng_.nextExponential(options_.spikeRatePerSec);
         }
     }
+}
+
+void
+FaultInjector::setCorruptionTopology(const CorruptionTopology &topology)
+{
+    RP_ASSERT(!topology.empty(), "corruption topology has no shards");
+    RP_ASSERT(topology.tableRows.size() == topology.shards,
+              "topology lists %zu shards of tables for %u shards",
+              topology.tableRows.size(), topology.shards);
+    topology_ = topology;
+    zipf_.clear();
+    const CorruptionOptions &c = options_.corruption;
+    for (uint32_t s = 0; s < topology_.shards; ++s) {
+        RP_ASSERT(!topology_.tableRows[s].empty() ||
+                      topology_.fcRows > 0,
+                  "shard %u holds no corruptible state", s);
+        if (c.zipfAlpha <= 0.0)
+            continue;
+        std::vector<ZipfGen> gens;
+        for (int64_t rows : topology_.tableRows[s])
+            gens.emplace_back(rows, c.zipfAlpha,
+                              corruption_rng_.split());
+        zipf_.push_back(std::move(gens));
+    }
+    corruption_armed_ = true;
+}
+
+CorruptionEvent
+FaultInjector::drawCorruptionAt(double t)
+{
+    const CorruptionOptions &c = options_.corruption;
+    CorruptionEvent ev;
+    ev.time = t;
+    ev.shard = static_cast<uint32_t>(
+        corruption_rng_.nextBelow(topology_.shards));
+    ev.replica = static_cast<uint32_t>(
+        corruption_rng_.nextBelow(topology_.replicas));
+    double kind = corruption_rng_.nextDouble();
+    if (kind < c.stuckRowFraction)
+        ev.kind = CorruptionKind::StuckRow;
+    else if (kind < c.stuckRowFraction + c.multiBitFraction)
+        ev.kind = CorruptionKind::MultiBitFlip;
+    else
+        ev.kind = CorruptionKind::SingleBitFlip;
+    const std::vector<int64_t> &tables = topology_.tableRows[ev.shard];
+    bool hit_fc = topology_.fcRows > 0 &&
+        (tables.empty() || corruption_rng_.nextDouble() < c.fcFraction);
+    if (hit_fc) {
+        ev.table = -1;
+        ev.row = static_cast<int64_t>(corruption_rng_.nextBelow(
+            static_cast<uint64_t>(topology_.fcRows)));
+        ev.bit = corruption_rng_.nextBelow(
+            static_cast<uint64_t>(topology_.fcRowBits));
+    } else {
+        ev.table = static_cast<int32_t>(
+            corruption_rng_.nextBelow(tables.size()));
+        int64_t rows = tables[static_cast<size_t>(ev.table)];
+        ev.row = c.zipfAlpha > 0.0
+            ? zipf_[ev.shard][static_cast<size_t>(ev.table)].next()
+            : static_cast<int64_t>(corruption_rng_.nextBelow(
+                  static_cast<uint64_t>(rows)));
+        ev.bit = corruption_rng_.nextBelow(
+            static_cast<uint64_t>(topology_.rowBits()));
+    }
+    return ev;
+}
+
+std::vector<CorruptionEvent>
+FaultInjector::drawCorruptionsUpTo(double now)
+{
+    std::vector<CorruptionEvent> events;
+    const CorruptionOptions &c = options_.corruption;
+    if (!c.enabled())
+        return events;
+    RP_ASSERT(corruption_armed_,
+              "corruption enabled but no topology armed");
+    if (next_corruption_ < 0.0)
+        next_corruption_ = corruption_rng_.nextExponential(c.ratePerSec);
+    while (next_corruption_ <= now) {
+        CorruptionEvent ev = drawCorruptionAt(next_corruption_);
+        if (log_ != nullptr)
+            log_->recordCorruption(ev);
+        events.push_back(ev);
+        ++corruptions_;
+        next_corruption_ +=
+            corruption_rng_.nextExponential(c.ratePerSec);
+    }
+    return events;
 }
 
 double
@@ -113,6 +206,8 @@ FaultInjector::shardUp(uint32_t shard, double now)
     ShardState &st = shards_[shard];
     while (st.nextTransition <= now) {
         st.up = !st.up;
+        if (log_ != nullptr)
+            log_->recordNodeTransition(shard, st.up, st.nextTransition);
         double mean = st.up ? options_.shardMtbfSeconds
                             : options_.shardMttrSeconds;
         // Degenerate repair/failure times advance by a tiny epsilon so

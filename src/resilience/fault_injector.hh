@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "core/rng.hh"
+#include "resilience/corruption.hh"
+#include "trace/id_generator.hh"
 
 namespace recperf {
 
@@ -65,7 +67,11 @@ struct FaultOptions
 
     uint64_t seed = 2020;
 
-    /** True when any fault channel is active. */
+    /** The fail-silent channel: seeded memory corruption. */
+    CorruptionOptions corruption;
+
+    /** True when any fail-stop fault channel is active (corruption is
+     *  fail-silent and consumed by the SDC layer instead). */
     bool anyFaults() const
     {
         return stragglerProb > 0.0 || shardMtbfSeconds > 0.0 ||
@@ -105,6 +111,33 @@ class FaultInjector
     /** Whether shard @p shard is serving requests at time @p now. */
     bool shardUp(uint32_t shard, double now);
 
+    /**
+     * Arm the memory-corruption channel against @p topology. Must be
+     * called before drawCorruptionsUpTo() when corruption is enabled;
+     * builds the Zipf row-targeting generators (one per shard-local
+     * table, aligned with lookup popularity so hot rows are hit
+     * proportionally more often).
+     */
+    void setCorruptionTopology(const CorruptionTopology &topology);
+
+    /**
+     * Poisson-arriving corruption events with time <= @p now, in
+     * arrival order. Advances lazily and monotonically like the other
+     * channels; every event is also appended to the fault log when one
+     * is attached.
+     */
+    std::vector<CorruptionEvent> drawCorruptionsUpTo(double now);
+
+    /**
+     * Attach a reproducibility log; not owned, may be null. Corruption
+     * events, node up/down transitions and load spikes are recorded as
+     * they are drawn.
+     */
+    void setLog(FaultLog *log) { log_ = log; }
+
+    /** Corruption events drawn so far. */
+    uint64_t corruptionsInjected() const { return corruptions_; }
+
     uint32_t numShards() const
     {
         return static_cast<uint32_t>(shards_.size());
@@ -128,19 +161,31 @@ class FaultInjector
     };
 
     void advanceSpikes(double now);
+    CorruptionEvent drawCorruptionAt(double t);
 
     FaultOptions options_;
     Rng straggler_rng_;
     Rng spike_rng_;
+    Rng corruption_rng_;
     std::vector<ShardState> shards_;
 
     bool in_spike_ = false;
     double next_spike_ = 0.0;
     double spike_end_ = 0.0;
 
+    CorruptionTopology topology_;
+    /** Zipf row generators, [shard][local table]; empty when row
+     *  targeting is uniform (zipfAlpha == 0). */
+    std::vector<std::vector<ZipfGen>> zipf_;
+    bool corruption_armed_ = false;
+    double next_corruption_ = -1.0; ///< < 0: first arrival not drawn
+
+    FaultLog *log_ = nullptr;
+
     uint64_t stragglers_ = 0;
     uint64_t spikes_ = 0;
     uint64_t down_answers_ = 0;
+    uint64_t corruptions_ = 0;
 };
 
 } // namespace recperf

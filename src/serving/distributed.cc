@@ -8,6 +8,7 @@
 #include "obs/hw_counters.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "sched/brownout.hh"
 
 namespace recperf {
 
@@ -137,6 +138,46 @@ RunResult::exportTo(obs::MetricsRegistry &registry) const
         registry.histogram("sharded.inference_latency_seconds");
     for (double s : latency.samples())
         hist.record(s);
+    // Integrity counters appear only when an SDC controller ran, so
+    // legacy runs export byte-identical metric sets.
+    if (sdc.active) {
+        registry.counter("integrity.injected.rows").add(sdc.injectedRows);
+        registry.counter("integrity.injected.fc").add(sdc.injectedFc);
+        registry.counter("integrity.detected.total").add(sdc.detected);
+        registry.counter("integrity.detected.scrub")
+            .add(sdc.detectedScrub);
+        registry.counter("integrity.detected.inline")
+            .add(sdc.detectedInline);
+        registry.counter("integrity.detected.guard")
+            .add(sdc.detectedGuard);
+        registry.counter("integrity.detected.canary")
+            .add(sdc.detectedCanary);
+        registry.counter("integrity.cleared.rows").add(sdc.clearedRows);
+        registry.counter("integrity.quarantined.rows")
+            .add(sdc.quarantinedRows);
+        registry.counter("integrity.repairs.completed").add(sdc.repairs);
+        registry.counter("integrity.rehydrates").add(sdc.rehydrates);
+        registry.counter("integrity.rows_rehydrated")
+            .add(sdc.rowsRehydrated);
+        registry.counter("integrity.responses.corrupted_served")
+            .add(sdc.corruptedServed);
+        registry.counter("integrity.responses.degraded")
+            .add(sdc.degradedServed);
+        registry.counter("integrity.canary.runs").add(sdc.canaryRuns);
+        registry.counter("integrity.scrub.sweeps").add(sdc.scrubSweeps);
+        registry.gauge("integrity.verify_seconds")
+            .set(sdc.verifySeconds);
+        registry.gauge("integrity.repair_seconds")
+            .set(sdc.repairSeconds);
+        registry.gauge("integrity.mean_quality")
+            .set(completed > 0
+                     ? sdc.qualitySum / static_cast<double>(completed)
+                     : 1.0);
+        obs::LatencyHistogram det =
+            registry.histogram("integrity.detection_latency_seconds");
+        for (double s : sdc.detectionLatency.samples())
+            det.record(s);
+    }
 }
 
 RunResult
@@ -161,11 +202,53 @@ ShardedInference::run(const RunOptions &options)
     std::string deadline_err =
         validateDeadlineSeconds(options.deadlineSeconds);
     RP_ASSERT(deadline_err.empty(), "%s", deadline_err.c_str());
+    std::string sdc_err = options.sdc.validate();
+    RP_ASSERT(sdc_err.empty(), "%s", sdc_err.c_str());
 
     FaultInjector injector(
         options.faults,
         numNodes() * (replicated ? options.replicas->replicas : 1));
+    injector.setLog(options.faultLog);
     RunResult result;
+
+    // The SDC controller engages when corruption events are injected
+    // or any defense mechanism is on; otherwise no controller exists
+    // and the loop below is byte-identical to a legacy run.
+    std::unique_ptr<SdcController> sdc;
+    if (options.faults.corruption.enabled() ||
+        options.sdc.anyDefense()) {
+        CorruptionTopology topo;
+        topo.shards = numNodes();
+        topo.replicas = replicated ? options.replicas->replicas : 1;
+        topo.embDim = config_.emb.embDim;
+        for (uint32_t s = 0; s < numNodes(); ++s) {
+            std::vector<int64_t> rows;
+            for (int64_t t = s; t < config_.emb.numTables;
+                 t += static_cast<int64_t>(numNodes()))
+                rows.push_back(config_.emb.rowsOf(t));
+            topo.tableRows.push_back(std::move(rows));
+        }
+        // Aggregator FC state, modeled as one row per output neuron
+        // carrying the stack's average per-neuron parameter load.
+        int64_t neurons = 0;
+        for (int64_t w : config_.bottomMlp)
+            neurons += w;
+        for (int64_t w : config_.topMlp)
+            neurons += w;
+        if (neurons > 0) {
+            topo.fcRows = neurons;
+            topo.fcRowBits = config_.fcParamCount() * 32 / neurons;
+        }
+        if (options.faults.corruption.enabled())
+            injector.setCorruptionTopology(topo);
+        SdcOptions sdc_opts = options.sdc;
+        if (sdc_opts.quarantineQuality <= 0.0)
+            sdc_opts.quarantineQuality = BrownoutOptions{}.qualityScore(
+                BrownoutLevel::StaleEmbeddings);
+        sdc = std::make_unique<SdcController>(
+            sdc_opts, topo, &injector, options.faults.seed,
+            options_.batch, config_.emb.lookupsPerTable);
+    }
 
     // Warmup doubles as calibration of the auto hedge delay (p95 of
     // clean shard service times) and, with the replica layer, of the
@@ -207,11 +290,17 @@ ShardedInference::run(const RunOptions &options)
             sets.emplace_back(s, *options.replicas, warm_factor);
     }
 
+    if (sdc)
+        sdc->calibrate(fresh_p50, machine_.dram.streamGBps());
+
     obs::Tracer &tracer = obs::Tracer::global();
     if (tracer.enabled()) {
         tracer.nameLane(0, "aggregator");
         for (uint32_t s = 0; s < numNodes(); ++s)
             tracer.nameLane(1 + s, strprintf("shard %u", s));
+        if (sdc)
+            sdc->setTracer(&tracer,
+                           static_cast<int>(numNodes()) + 1);
     }
 
     // Measurement starts here: drop warm-up/calibration telemetry and
@@ -227,6 +316,10 @@ ShardedInference::run(const RunOptions &options)
     double sum_slowest = 0.0;
     double sum_agg = 0.0;
     for (int i = 0; i < options.measureIters; ++i) {
+        // Advance the corruption/scrub/repair/canary machinery to the
+        // inference's issue time; canary executions tax the clock.
+        if (sdc)
+            now += sdc->beginInference(now);
         double slowest = 0.0;
         double elapsed_max = 0.0;
         bool ok = true;
@@ -246,12 +339,25 @@ ShardedInference::run(const RunOptions &options)
             }
             double base =
                 shard_timers_[s]->run().secondsByKind(OpKind::SLS);
+            if (sdc) {
+                // Checksum re-reads of the background scrubber steal
+                // table bandwidth from every gather.
+                base *= sdc->serviceSlowdown();
+            }
             ShardOutcome out = replicated
                 ? resolveReplicated(injector, sets[s], options.retry,
                                     options.hedge, hedge_delay, s, base,
-                                    now, options.chaos, ctx, &result)
+                                    now, options.chaos, ctx, sdc.get(),
+                                    &result)
                 : resolveShard(injector, options.retry, options.hedge,
-                               hedge_delay, s, base, now, ctx, &result);
+                               hedge_delay, s, base, now, ctx,
+                               sdc.get(), &result);
+            if (out.ok && sdc) {
+                // Model the rows this batch touched on the serving
+                // replica; inline sampled verification adds its read
+                // cost to the shard's service time.
+                out.elapsed += sdc->onShardLookup(s, out.replica, now);
+            }
             if (tracer.enabled()) {
                 tracer.span("shard", strprintf("sls s%u", s), now,
                             now + out.elapsed, 1 + s,
@@ -274,6 +380,8 @@ ShardedInference::run(const RunOptions &options)
             // shard work is wasted, and virtual time advances only by
             // what the abandoned attempt actually consumed (capped at
             // the budget — the cancellation point).
+            if (sdc)
+                sdc->dropInference();
             ++result.deadlineExpired;
             double consumed = ctx.deadline.enabled()
                 ? std::min(elapsed_max, ctx.deadline.budgetSeconds)
@@ -297,6 +405,14 @@ ShardedInference::run(const RunOptions &options)
 
         if (ok) {
             double total = slowest + network + agg_seconds;
+            if (sdc) {
+                // The aggregation boundary: output guards and canary
+                // bookkeeping decide whether this response escapes
+                // corrupted, serves degraded, or pays guard time.
+                SdcController::Boundary boundary =
+                    sdc->endInference(now + total);
+                total += boundary.extraSeconds;
+            }
             if (tracer.enabled()) {
                 tracer.span("shard", "network", now + slowest,
                             now + slowest + network, 0);
@@ -312,6 +428,8 @@ ShardedInference::run(const RunOptions &options)
         } else {
             // The aggregator abandons the inference once the slowest
             // shard exhausts its retries; no result is produced.
+            if (sdc)
+                sdc->dropInference();
             ++result.failed;
             result.wastedSeconds += agg_seconds;
             if (tracer.enabled()) {
@@ -328,6 +446,13 @@ ShardedInference::run(const RunOptions &options)
         sampler.tick(now);
     }
     result.duration = now;
+
+    if (sdc) {
+        // Final scrub period + repair-queue drain: every resident
+        // corruption resolves within its detection bound.
+        sdc->finish(now);
+        result.sdc = sdc->stats();
+    }
 
     for (const ReplicaSet &set : sets) {
         result.breakerOpens += set.breakerOpens();
@@ -383,6 +508,7 @@ ShardedInference::resolveShard(FaultInjector &injector,
                                double hedge_delay, uint32_t shard,
                                double base_seconds, double now,
                                const DeadlineCtx &ctx,
+                               const SdcController *sdc,
                                ResilientShardedResult *result)
 {
     const Deadline &dl = ctx.deadline;
@@ -406,7 +532,11 @@ ShardedInference::resolveShard(FaultInjector &injector,
         // clamped to the remaining budget (+inf when neither bounds).
         double timeout = dl.clampTimeout(retry.timeoutSeconds, t_start);
         bool hedge_fits = hedge.enabled && hedge_delay < remaining;
-        if (!injector.shardUp(shard, t_start)) {
+        // A replica mid-rehydrate is out of rotation: the single-copy
+        // path sees it exactly like a transient down window.
+        bool drained =
+            sdc != nullptr && sdc->replicaDrained(shard, 0, t_start);
+        if (drained || !injector.shardUp(shard, t_start)) {
             ++result->shardDownEncounters;
             if (hedge_fits) {
                 // The hedge goes to a replica node, so it rescues the
@@ -460,14 +590,19 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                                     double base_seconds, double now,
                                     const ChaosSchedule *chaos,
                                     const DeadlineCtx &ctx,
+                                    const SdcController *sdc,
                                     ReplicatedShardedResult *result)
 {
     const Deadline &dl = ctx.deadline;
     // Replica r of shard s runs failure process s*R + r; scripted chaos
-    // windows override the renewal process. Every query also tells the
-    // ReplicaSet what it saw, so down -> up edges start the warm-up.
+    // windows override the renewal process, and a replica drained for
+    // SDC rehydration counts as down so requests fail over. Every
+    // query also tells the ReplicaSet what it saw, so down -> up edges
+    // start the warm-up.
     auto replica_up = [&](uint32_t replica, double t) {
         bool up = injector.shardUp(shard * set.size() + replica, t);
+        if (up && sdc && sdc->replicaDrained(shard, replica, t))
+            up = false;
         if (up && chaos && chaos->forcedDown(shard, replica, t))
             up = false;
         return set.observeUp(replica, up, t);
@@ -550,7 +685,8 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         result->warmupPenaltySeconds +=
                             hedged - hedged / warm;
                         set.recordSuccess(alt, hedged, t_hedge);
-                        return {waited + hedge_delay + hedged, true};
+                        return {waited + hedge_delay + hedged, true,
+                                false, alt};
                     }
                     ++result->shardDownEncounters;
                     set.recordError(alt, t_hedge);
@@ -608,7 +744,7 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         winner !=
                             static_cast<uint32_t>(prev_error_replica))
                         ++result->failovers;
-                    return {waited + service, true};
+                    return {waited + service, true, false, winner};
                 }
             }
         }

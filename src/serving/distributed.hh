@@ -26,6 +26,7 @@
 #include "resilience/fault_injector.hh"
 #include "resilience/policies.hh"
 #include "resilience/replica_set.hh"
+#include "resilience/sdc.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -204,6 +205,22 @@ struct RunOptions
      * Not owned; may be null.
      */
     const CancelToken *cancel = nullptr;
+
+    /**
+     * The silent-data-corruption defense ladder (scrubbing, inline
+     * sampled verification, output guards, canaries, quarantine and
+     * repair). A controller is engaged when faults.corruption injects
+     * events or any defense knob is on; at the defaults the serving
+     * loop is byte-identical to a run without this subsystem.
+     */
+    SdcOptions sdc;
+
+    /**
+     * Optional reproducibility log: every drawn corruption event, node
+     * up/down transition and load spike is appended as it happens.
+     * Not owned; may be null.
+     */
+    FaultLog *faultLog = nullptr;
 };
 
 /**
@@ -227,6 +244,9 @@ struct RunResult : ReplicatedShardedResult
 
     /** Pooled-embedding bytes crossing the network per inference. */
     double networkBytes = 0.0;
+
+    /** SDC defense accounting; active only when a controller ran. */
+    SdcStats sdc;
 
     /** Slice down to the legacy per-inference breakdown. */
     ShardedResult breakdown() const
@@ -299,6 +319,8 @@ class ShardedInference
         /** Abandoned by deadline/cancellation, not by retry
          *  exhaustion. */
         bool cancelled = false;
+        /** Replica that served the winning attempt (0 single-copy). */
+        uint32_t replica = 0;
     };
 
     /**
@@ -334,6 +356,7 @@ class ShardedInference
                               double hedge_delay, uint32_t shard,
                               double base_seconds, double now,
                               const DeadlineCtx &ctx,
+                              const SdcController *sdc,
                               ResilientShardedResult *result);
 
     ShardOutcome resolveReplicated(FaultInjector &injector,
@@ -344,6 +367,7 @@ class ShardedInference
                                    double base_seconds, double now,
                                    const ChaosSchedule *chaos,
                                    const DeadlineCtx &ctx,
+                                   const SdcController *sdc,
                                    ReplicatedShardedResult *result);
 
     /** Pooled-vector bytes one shard ships per inference. */

@@ -47,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,7 @@
 #include "core/thread_pool.hh"
 #include "machine/simd.hh"
 #include "model/rec_model.hh"
+#include "ops/integrity.hh"
 #include "ops/kernel_cache.hh"
 #include "ops/microkernels.hh"
 #include "obs/hw_counters.hh"
@@ -176,6 +178,35 @@ cmdColocate(ArgParser &args)
     return 0;
 }
 
+/** Memory-corruption channel of the failure model (shard). */
+CorruptionOptions
+corruptionFromArgs(ArgParser &args)
+{
+    CorruptionOptions c;
+    c.ratePerSec = args.optionDouble("corrupt-rate");
+    c.zipfAlpha = args.optionDouble("corrupt-zipf");
+    c.multiBitFraction = args.optionDouble("corrupt-multi-bit");
+    c.stuckRowFraction = args.optionDouble("corrupt-stuck-row");
+    c.fcFraction = args.optionDouble("corrupt-fc");
+    return c;
+}
+
+/** SDC detection/recovery ladder options (shard). */
+SdcOptions
+sdcFromArgs(ArgParser &args)
+{
+    SdcOptions s;
+    s.scrubIntervalSeconds = args.optionDouble("scrub-interval-ms") / 1e3;
+    s.inlineSampleRate = args.optionDouble("integrity-sample");
+    s.outputGuards = args.flag("integrity-guards");
+    s.canaryIntervalSeconds =
+        args.optionDouble("integrity-canary-ms") / 1e3;
+    s.repairRttSeconds = args.optionDouble("repair-rtt-us") / 1e6;
+    s.repairBandwidthGBps = args.optionDouble("repair-gbps");
+    s.drainDensity = args.optionDouble("drain-density");
+    return s;
+}
+
 /** Failure-model options shared by serve and shard. */
 FaultOptions
 faultsFromArgs(ArgParser &args)
@@ -190,6 +221,7 @@ faultsFromArgs(ArgParser &args)
     f.spikeDurationSeconds = args.optionDouble("spike-ms") / 1e3;
     f.spikeFactor = args.optionDouble("spike-factor");
     f.seed = static_cast<uint64_t>(args.optionInt("fault-seed"));
+    f.corruption = corruptionFromArgs(args);
     return f;
 }
 
@@ -330,6 +362,27 @@ validateServingArgs(ArgParser &args, const std::string &command)
         }
         if (!(err = brownout.validate()).empty())
             return err;
+        // The corruption channel and the SDC defense ladder run in the
+        // sharded loop only; reject them up front like --brownout on
+        // shard rather than silently ignoring the knobs.
+        static const char *const kSdcKnobs[] = {
+            "corrupt-rate", "corrupt-zipf", "corrupt-multi-bit",
+            "corrupt-stuck-row", "corrupt-fc", "scrub-interval-ms",
+            "integrity-sample", "integrity-canary-ms", "repair-rtt-us",
+            "repair-gbps", "drain-density", "fault-log-out"};
+        for (const char *knob : kSdcKnobs) {
+            if (args.explicitlySet(knob)) {
+                return strprintf("--%s applies to shard only (the SDC "
+                                 "defense runs in the sharded loop)",
+                                 knob);
+            }
+        }
+        if (args.flag("integrity-guards"))
+            return "--integrity-guards applies to shard only (the SDC "
+                   "defense runs in the sharded loop)";
+        if (args.explicitlySet("corrupt-events"))
+            return "--corrupt-events applies to eval only (functional "
+                   "bit flips against real tables)";
         int64_t cluster = args.optionInt("cluster-replicas");
         int64_t healthy = args.optionInt("healthy-replicas");
         if (cluster < 1)
@@ -384,6 +437,31 @@ validateServingArgs(ArgParser &args, const std::string &command)
                              "windows are scripted (got %g)",
                              args.optionDouble("chaos-ms"));
         }
+        if (args.explicitlySet("corrupt-events"))
+            return "--corrupt-events applies to eval only (functional "
+                   "bit flips against real tables)";
+        // Sub-knobs of the corruption channel do nothing without an
+        // event rate, mirroring the brownout-knob convention.
+        if (args.optionDouble("corrupt-rate") <= 0.0) {
+            static const char *const kCorruptKnobs[] = {
+                "corrupt-zipf", "corrupt-multi-bit",
+                "corrupt-stuck-row", "corrupt-fc"};
+            for (const char *knob : kCorruptKnobs) {
+                if (args.explicitlySet(knob)) {
+                    return strprintf("--%s has no effect without "
+                                     "--corrupt-rate", knob);
+                }
+            }
+        }
+        // 0 is the "off" default; an explicit rate must be usable.
+        double sample = args.optionDouble("integrity-sample");
+        if (args.explicitlySet("integrity-sample") &&
+            (sample <= 0.0 || sample > 1.0)) {
+            return strprintf("--integrity-sample must be in (0, 1] "
+                             "(got %g)", sample);
+        }
+        if (!(err = sdcFromArgs(args).validate()).empty())
+            return err;
     }
     return "";
 }
@@ -561,6 +639,53 @@ printResilientResult(const ResilientShardedResult &r)
                 r.wastedSeconds * 1e3);
 }
 
+/** SDC defense summary; silent when no controller ran. */
+void
+printSdcSummary(const RunResult &r)
+{
+    if (!r.sdc.active)
+        return;
+    const SdcStats &s = r.sdc;
+    std::printf("  integrity:     %llu row + %llu FC corruptions, %llu "
+                "detected (%llu scrub, %llu inline, %llu guard, %llu "
+                "canary)\n",
+                static_cast<unsigned long long>(s.injectedRows),
+                static_cast<unsigned long long>(s.injectedFc),
+                static_cast<unsigned long long>(s.detected),
+                static_cast<unsigned long long>(s.detectedScrub),
+                static_cast<unsigned long long>(s.detectedInline),
+                static_cast<unsigned long long>(s.detectedGuard),
+                static_cast<unsigned long long>(s.detectedCanary));
+    std::printf("  quarantine:    %llu rows quarantined, %llu repairs, "
+                "%llu rehydrates (%llu rows wiped)\n",
+                static_cast<unsigned long long>(s.quarantinedRows),
+                static_cast<unsigned long long>(s.repairs),
+                static_cast<unsigned long long>(s.rehydrates),
+                static_cast<unsigned long long>(s.rowsRehydrated));
+    std::printf("  escapes:       %llu corrupted responses served, "
+                "%llu degraded\n",
+                static_cast<unsigned long long>(s.corruptedServed),
+                static_cast<unsigned long long>(s.degradedServed));
+    if (!s.detectionLatency.empty()) {
+        std::printf("  detection:     %10.3f ms p50, %.3f ms p99 "
+                    "injection-to-detection\n",
+                    s.detectionLatency.p(50.0) * 1e3,
+                    s.detectionLatency.p(99.0) * 1e3);
+    }
+}
+
+/** Write the reproducibility fault log when --fault-log-out is set. */
+void
+writeFaultLog(ArgParser &args, const FaultLog &log)
+{
+    const std::string &path = args.option("fault-log-out");
+    if (path.empty())
+        return;
+    log.writeFile(path);
+    std::printf("  fault log:     wrote %s (%zu events)\n", path.c_str(),
+                log.size());
+}
+
 int
 cmdShard(ArgParser &args)
 {
@@ -599,6 +724,19 @@ cmdShard(ArgParser &args)
         std::printf("  deadline:      %10.1f ms budget per inference\n",
                     ropts.deadlineSeconds * 1e3);
     }
+    ropts.sdc = sdcFromArgs(args);
+    FaultLog fault_log;
+    if (!args.option("fault-log-out").empty())
+        ropts.faultLog = &fault_log;
+    if (faults.corruption.enabled() || ropts.sdc.anyDefense()) {
+        std::printf("  sdc:           %.1f corruptions/s, scrub %.1f ms, "
+                    "inline %.2f, guards %s, canary %.1f ms\n",
+                    faults.corruption.ratePerSec,
+                    ropts.sdc.scrubIntervalSeconds * 1e3,
+                    ropts.sdc.inlineSampleRate,
+                    ropts.sdc.outputGuards ? "on" : "off",
+                    ropts.sdc.canaryIntervalSeconds * 1e3);
+    }
 
     ChaosSchedule chaos;
     auto chaos_events =
@@ -608,6 +746,8 @@ cmdShard(ArgParser &args)
         // implicit spare replica). `ropts.replicas` stays disengaged.
         RunResult r = sim.run(ropts);
         printResilientResult(r);
+        printSdcSummary(r);
+        writeFaultLog(args, fault_log);
         r.exportTo(obs::MetricsRegistry::global());
         obsEnd(args);
         return 0;
@@ -655,6 +795,8 @@ cmdShard(ArgParser &args)
                 static_cast<unsigned long long>(r.breakerRejects));
     std::printf("  warm-up cost:  %10.3f ms re-filling recovered "
                 "replicas' caches\n", r.warmupPenaltySeconds * 1e3);
+    printSdcSummary(r);
+    writeFaultLog(args, fault_log);
     r.exportTo(obs::MetricsRegistry::global());
     obsEnd(args);
     return 0;
@@ -674,6 +816,60 @@ cmdEval(ArgParser &args)
     Rng rng(static_cast<uint64_t>(args.optionInt("seed")));
     RecModel model(cfg, rng);
     ModelInput input = model.randomInput(batch, rng);
+
+    // Functional integrity: shield the real tables with per-row
+    // checksums, optionally flip seeded bits into them, and let the
+    // inline SLS hook detect and repair whatever the fixed input
+    // actually gathers. With --integrity-sample alone the output
+    // checksum is bit-identical to an unshielded run.
+    double sample = args.optionDouble("integrity-sample");
+    int64_t flips = args.optionInt("corrupt-events");
+    if (args.explicitlySet("integrity-sample") &&
+        (sample <= 0.0 || sample > 1.0)) {
+        std::fprintf(stderr, "error: --integrity-sample must be in "
+                             "(0, 1] (got %g)\n", sample);
+        return 2;
+    }
+    if (flips < 0) {
+        std::fprintf(stderr, "error: --corrupt-events cannot be "
+                             "negative (got %lld)\n",
+                     static_cast<long long>(flips));
+        return 2;
+    }
+    if (flips > 0 && sample <= 0.0) {
+        std::fprintf(stderr, "error: --corrupt-events needs "
+                             "--integrity-sample to detect and repair "
+                             "the flips\n");
+        return 2;
+    }
+    std::vector<std::unique_ptr<IntegrityShield>> shields;
+    if (sample > 0.0) {
+        IntegrityRuntime &integrity = IntegrityRuntime::global();
+        integrity.configure(sample, /*repair_on_detect=*/true);
+        std::vector<EmbeddingTable> &tables = model.tables();
+        for (size_t t = 0; t < tables.size(); ++t) {
+            shields.push_back(std::make_unique<IntegrityShield>(
+                IntegrityShield::forTable(tables[t],
+                                          strprintf("table%zu", t))));
+            shields.back()->seal();
+            integrity.attach(&tables[t], shields.back().get());
+        }
+        if (flips > 0) {
+            Rng corrupt_rng(
+                static_cast<uint64_t>(args.optionInt("fault-seed")) ^
+                0x5dc0ffeeb5ULL);
+            for (int64_t i = 0; i < flips; ++i) {
+                size_t t = static_cast<size_t>(
+                    corrupt_rng.nextBelow(shields.size()));
+                int64_t row = static_cast<int64_t>(corrupt_rng.nextBelow(
+                    static_cast<uint64_t>(shields[t]->rows())));
+                uint64_t bit = corrupt_rng.nextBelow(
+                    static_cast<uint64_t>(shields[t]->rowBytes()) * 8);
+                shields[t]->flipBit(row, bit);
+            }
+        }
+        integrity.setEnabled(true);
+    }
 
     for (int i = 0; i < 2; ++i)
         (void)model.forward(input); // warm-up
@@ -723,6 +919,21 @@ cmdEval(ArgParser &args)
                     ? "auto"
                     : kernelIsaName(
                           KernelCache::global().policy().pinned));
+    if (sample > 0.0) {
+        IntegrityRuntime &integrity = IntegrityRuntime::global();
+        integrity.exportTo(obs::MetricsRegistry::global());
+        std::printf("  integrity:  %llu/%llu batches verified, %llu "
+                    "corruptions detected, %llu rows repaired\n",
+                    static_cast<unsigned long long>(
+                        integrity.batchesVerified()),
+                    static_cast<unsigned long long>(
+                        integrity.batchesSeen()),
+                    static_cast<unsigned long long>(
+                        integrity.corruptionsDetected()),
+                    static_cast<unsigned long long>(
+                        integrity.rowsRepaired()));
+        integrity.reset();
+    }
     if (args.flag("dump-kernel-cache"))
         std::fputs(KernelCache::global().dumpTable().c_str(), stdout);
     obsEnd(args);
@@ -899,6 +1110,41 @@ main(int argc, char **argv)
     args.addOption("chaos-events", "0",
                    "scripted chaos windows over the run (shard)");
     args.addOption("chaos-ms", "5", "mean chaos window duration");
+    args.addOption("corrupt-rate", "0",
+                   "memory-corruption events per second (shard; 0 = "
+                   "off)");
+    args.addOption("corrupt-zipf", "1.05",
+                   "corruption row-targeting skew (0 = uniform)");
+    args.addOption("corrupt-multi-bit", "0.2",
+                   "fraction of corruptions flipping multiple bits");
+    args.addOption("corrupt-stuck-row", "0.1",
+                   "fraction of corruptions sticking a whole row at 1s");
+    args.addOption("corrupt-fc", "0",
+                   "fraction of corruptions hitting FC weights");
+    args.addOption("scrub-interval-ms", "0",
+                   "background checksum scrub full-sweep period (shard; "
+                   "0 = off)");
+    args.addOption("integrity-sample", "0",
+                   "inline-verified fraction of lookup batches, (0, 1] "
+                   "(shard|eval; 0 = off)");
+    args.addFlag("integrity-guards",
+                 "NaN/inf/range + checksum output guards at the "
+                 "aggregation boundary (shard)");
+    args.addOption("integrity-canary-ms", "0",
+                   "canary-query period with golden outputs (shard; "
+                   "0 = off)");
+    args.addOption("repair-rtt-us", "200",
+                   "parameter-store round trip per row re-fetch");
+    args.addOption("repair-gbps", "1",
+                   "parameter-store transfer bandwidth");
+    args.addOption("drain-density", "0",
+                   "corrupted-row density escalating a replica to "
+                   "drain + rehydrate (0 = off)");
+    args.addOption("fault-log-out", "",
+                   "write every injected fault event as JSONL (shard)");
+    args.addOption("corrupt-events", "0",
+                   "seeded bit flips injected into eval's real tables "
+                   "(eval; needs --integrity-sample)");
     args.addOption("cluster-replicas", "1",
                    "replicas backing the serving tier (serve)");
     args.addOption("healthy-replicas", "0",
