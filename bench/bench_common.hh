@@ -18,6 +18,9 @@
 #include <utility>
 #include <vector>
 
+#include "backend/compute_backend.hh"
+#include "machine/simd.hh"
+
 namespace recperf {
 namespace bench {
 
@@ -149,6 +152,14 @@ class JsonWriter
         machine_.add("host_cores",
                      static_cast<uint64_t>(
                          std::thread::hardware_concurrency()));
+        // Stamp the active compute backend and ISA policy so
+        // scripts/bench_diff.py can flag a cross-backend comparison as
+        // config drift instead of reporting it as a perf regression.
+        const BackendConfig &backend = activeBackendConfig();
+        machine_.add("backend", backendKindName(backend.kind));
+        machine_.add("isa", backend.isa.autoSelect
+                         ? "auto"
+                         : kernelIsaName(backend.isa.pinned));
     }
 
     JsonObject &machine() { return machine_; }

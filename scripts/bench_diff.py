@@ -41,7 +41,12 @@ HIGHER_IS_BETTER = re.compile(
 # Discrete config fields that identify a row rather than measure it.
 IDENTITY_INTS = ("threads", "replicas", "nodes", "batch", "m", "n", "k",
                  "seed", "mtbf_ms", "mttr_ms", "rows", "dim", "tables",
-                 "pooling")
+                 "pooling", "ranks")
+
+# Machine-stamp fields that invalidate a comparison when they differ:
+# an nmp-backend candidate against a cpu-backend baseline is a config
+# change, not a perf regression.
+MACHINE_IDENTITY = ("backend", "isa")
 
 
 def load_envelope(path):
@@ -103,6 +108,30 @@ def compare(base, cand, opts):
             failures.append(msg + " (pass --allow-config-drift to compare "
                             "anyway)")
             return failures, warnings, infos
+
+    # Cross-backend (or cross-ISA) envelopes measure different engines;
+    # gating one against the other would misreport the backend delta as
+    # a regression. Envelopes written before the stamp existed lack the
+    # fields — warn and compare anyway so old baselines keep working.
+    base_machine = base.get("machine") or {}
+    cand_machine = cand.get("machine") or {}
+    for field in MACHINE_IDENTITY:
+        bv, cv = base_machine.get(field), cand_machine.get(field)
+        if bv is None or cv is None:
+            if bv != cv:
+                side = "baseline" if bv is None else "candidate"
+                warnings.append(f"machine {field} missing from {side}; "
+                                "cannot check backend drift")
+            continue
+        if bv != cv:
+            msg = (f"machine {field} drift: baseline '{bv}' vs candidate "
+                   f"'{cv}' (cross-backend comparison, not a regression)")
+            if opts.allow_config_drift:
+                warnings.append(msg)
+            else:
+                failures.append(msg + " (pass --allow-config-drift to "
+                                "compare anyway)")
+                return failures, warnings, infos
 
     base_rows = {row_key(r): r for r in base["results"]}
     cand_rows = {row_key(r): r for r in cand["results"]}
@@ -166,7 +195,7 @@ def self_test(opts):
     base = {
         "schema_version": 1,
         "bench": "selftest",
-        "machine": {"host_cores": 1},
+        "machine": {"host_cores": 1, "backend": "cpu", "isa": "auto"},
         "config": {"iters": 100},
         "results": [
             {"suite": "gemm", "name": "a", "threads": 1,
@@ -222,6 +251,28 @@ def self_test(opts):
                       argparse.Namespace(**{**vars(ns),
                                             "allow_config_drift": True}))
     assert not f and w, "--allow-config-drift should warn, not fail"
+
+    # A candidate measured on a different compute backend (or ISA) must
+    # be flagged as drift, not silently gated as a perf delta.
+    cross = json.loads(json.dumps(base))
+    cross["machine"]["backend"] = "nmp"
+    f, _, _ = compare(base, cross, ns)
+    assert any("machine backend drift" in m for m in f), \
+        f"cross-backend envelope not flagged: {f}"
+    f, w, _ = compare(base, cross,
+                      argparse.Namespace(**{**vars(ns),
+                                            "allow_config_drift": True}))
+    assert not f and any("machine backend drift" in m for m in w), \
+        "--allow-config-drift should demote backend drift to a warning"
+
+    # Envelopes written before the backend stamp existed only warn.
+    legacy = json.loads(json.dumps(base))
+    del legacy["machine"]["backend"]
+    del legacy["machine"]["isa"]
+    f, w, _ = compare(legacy, base, ns)
+    assert not f, f"stamp-less baseline must still compare: {f}"
+    assert any("missing from baseline" in m for m in w), \
+        f"missing-stamp warning absent: {w}"
 
     print("bench_diff self-test: OK")
     return 0

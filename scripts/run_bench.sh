@@ -12,6 +12,8 @@
 #  - BENCH_sdc.json: corruption detection rate, escapes and p99 tax
 #    across the (corruption rate x scrub interval x inline sampling)
 #    defense grid
+#  - BENCH_backend.json: near-memory SLS backend vs host CPU latency
+#    across RMC1/2/3 x pooling depth x PIM rank count (virtual time)
 #
 # All files share the bench::JsonWriter envelope (bench_common.hh):
 #   {schema_version, bench, machine, config, results[]}
@@ -23,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build
 cmake --build build --target micro_parallel_ops micro_kernel_tuning \
-    study_failover study_brownout study_sdc
+    study_failover study_brownout study_sdc study_backend
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
@@ -39,3 +41,6 @@ echo "wrote $(pwd)/BENCH_brownout.json"
 
 ./build/bench/study_sdc --out BENCH_sdc.json
 echo "wrote $(pwd)/BENCH_sdc.json"
+
+./build/bench/study_backend --out BENCH_backend.json
+echo "wrote $(pwd)/BENCH_backend.json"

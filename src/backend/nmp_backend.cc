@@ -1,0 +1,117 @@
+#include "backend/nmp_backend.hh"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace recperf {
+
+bool
+nmpTableOffloaded(const NmpConfig &config, uint64_t storage_bytes,
+                  double llc_share_bytes)
+{
+    switch (config.placement) {
+      case NmpPlacement::All:
+        return true;
+      case NmpPlacement::None:
+        return false;
+      case NmpPlacement::Auto:
+        break;
+    }
+    // Small or cache-fixable tables stay on the host: once their hot
+    // rows live in the LLC the host gather is already cheap, and
+    // offloading would only add link transfers and launch latency.
+    if (storage_bytes < config.minTableBytes)
+        return false;
+    return static_cast<double>(storage_bytes) >
+        config.hostLlcFraction * llc_share_bytes;
+}
+
+OpTiming
+NmpBackend::timeSls(TimingContext &ctx, size_t table_index)
+{
+    const int64_t row_bytes = ctx.config.emb.rowBytes();
+    const uint64_t storage_bytes =
+        static_cast<uint64_t>(
+            ctx.config.emb.rowsOf(static_cast<int64_t>(table_index))) *
+        static_cast<uint64_t>(row_bytes);
+    if (!nmpTableOffloaded(config_.nmp, storage_bytes,
+                           ctx.llcShareBytes()))
+        return CpuBackend::timeSls(ctx, table_index);
+
+    OpTiming t;
+    t.kind = OpKind::SLS;
+    t.name = strprintf("NMP-SparseLengthsSum[%zu]", table_index);
+
+    const NmpConfig &nmp = config_.nmp;
+    const int64_t dim = ctx.config.emb.embDim;
+    const int64_t rows = ctx.batch * ctx.config.emb.lookupsPerTable;
+
+    // Consume the table's ID stream at the same rate as the host path
+    // (one draw per pooled row) and spread the lookups across the PIM
+    // ranks the way a physical layout would: a row lives in one rank,
+    // chosen by a multiplicative hash of its ID. Duplicate IDs within
+    // one offloaded op are coalesced — a RecNMP-style engine memoizes
+    // the row after its first read and folds repeats into the running
+    // sum — which is exactly what defuses the Zipf-hot-row rank
+    // imbalance (every copy of a hot ID lands on the same rank).
+    IdGenerator &gen = *(*ctx.tableGens)[table_index];
+    std::vector<uint64_t> per_rank(nmp.ranks, 0);
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+        uint64_t id = static_cast<uint64_t>(gen.next());
+        if (!seen.insert(id).second)
+            continue;
+        uint64_t h = (id + 1) * 0x9E3779B97F4A7C15ull;
+        per_rank[(h >> 32) % nmp.ranks] += 1;
+    }
+
+    // In-rank gather: each rank reads its share of rows at its own
+    // bandwidth plus a fixed activate/column overhead per row; the op
+    // completes when the most-loaded rank drains.
+    const double row_seconds =
+        static_cast<double>(row_bytes) / (nmp.rankGBps * 1e9) +
+        nmp.rowAccessNs * 1e-9;
+    uint64_t max_rank_rows = 0;
+    for (uint64_t rank_rows : per_rank)
+        max_rank_rows = std::max(max_rank_rows, rank_rows);
+    const double gather_seconds =
+        static_cast<double>(max_rank_rows) * row_seconds;
+
+    // Host link: sparse IDs up (8 B each, with the launch round trip),
+    // one pooled fp32 vector per sample down.
+    const double upload_bytes = static_cast<double>(rows) * 8.0;
+    const double download_bytes = static_cast<double>(ctx.batch) *
+        static_cast<double>(dim) * 4.0;
+    const double upload_seconds = nmp.launchUs * 1e-6 +
+        upload_bytes / (nmp.linkGBps * 1e9);
+    const double download_seconds = download_bytes / (nmp.linkGBps * 1e9);
+
+    t.offloadSeconds = gather_seconds;
+    t.transferBytes = static_cast<uint64_t>(upload_bytes) +
+        static_cast<uint64_t>(download_bytes);
+    t.memorySeconds = upload_seconds + download_seconds;
+    t.dispatchSeconds = ctx.machine.dispatchSeconds(t.kind);
+
+    // The host core only marshals IDs and receives pooled vectors — no
+    // hierarchy traffic (dramLines stays 0), no SMT contention on the
+    // gather, and an instruction stream that is just the marshaling.
+    t.instructions = static_cast<double>(rows) * 2.0 +
+        ctx.machine.dispatchCyclesFor(t.kind);
+
+    const double flops = static_cast<double>(rows) *
+        static_cast<double>(dim);
+    t.cost.flops = flops;
+    t.cost.bytesRead = static_cast<double>(rows) *
+        (static_cast<double>(row_bytes) + 8.0);
+    t.cost.bytesWritten = download_bytes;
+
+    t.seconds = upload_seconds + gather_seconds + download_seconds +
+        t.dispatchSeconds;
+    return t;
+}
+
+} // namespace recperf

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Calibration constants and micro-helpers shared by the backend cost
+ * models (moved verbatim from the pre-backend ModelTimer).
+ */
+
+#ifndef RECPERF_BACKEND_TIMING_SHARED_HH
+#define RECPERF_BACKEND_TIMING_SHARED_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace recperf {
+
+// Address-space layout: each embedding table gets a 64 GB region below
+// the tenant base so tables (and tenants) never alias cache lines.
+constexpr uint64_t kTableRegionBytes = 1ull << 36;
+
+// Fraction of the private L2 usable by FC weight panels (the rest is
+// activations, IDs, and framework state).
+constexpr double kL2UsableFrac = 0.8;
+
+// Core cycles of per-row bookkeeping in the SLS inner loop (index
+// loads, bounds handling, accumulation stalls). Scales with frequency,
+// which is one reason the 2.0 GHz Skylake loses small-batch SLS to the
+// 2.4 GHz Broadwell despite its faster DRAM.
+constexpr double kSlsPerRowCycles = 10.0;
+
+// Memory-controller queueing under co-location: every additional
+// active tenant adds a small delay to DRAM-serviced requests, up to 2x.
+inline double
+dramQueueFactor(uint32_t active_tenants)
+{
+    return std::min(2.0, 1.0 + 0.04 * (active_tenants - 1));
+}
+
+// Instruction-count model: IPC-1 dispatch plus vector loads/FMAs.
+inline double
+vectorInstructions(double flops, double bytes, int lanes)
+{
+    return flops / (2.0 * lanes) + bytes / 32.0;
+}
+
+} // namespace recperf
+
+#endif // RECPERF_BACKEND_TIMING_SHARED_HH

@@ -78,12 +78,16 @@ HwTelemetry::recordOp(const OpRecord &record)
     totals_.l2Lines += record.l2Lines;
     totals_.l3Lines += record.l3Lines;
     totals_.dramLines += record.dramLines;
+    totals_.offloadSeconds += record.offloadSeconds;
+    totals_.transferBytes += record.transferBytes;
 
     KindAgg &agg = by_kind_[record.kindName];
     agg.seconds += record.seconds;
     agg.flops += record.flops;
     agg.bytesRead += record.bytesRead;
     agg.bytesWritten += record.bytesWritten;
+    agg.offloadSeconds += record.offloadSeconds;
+    agg.transferBytes += record.transferBytes;
     ++agg.invocations;
 }
 
@@ -188,6 +192,13 @@ HwTelemetry::exportTo(MetricsRegistry &registry) const
                  ? dram_bytes_per_s / (roofline_.streamGBps * 1e9)
                  : 0.0);
 
+    // Offload metrics exist only when an offload backend ran: host-only
+    // runs stay byte-identical to the pre-backend metric files.
+    if (t.offloadSeconds > 0.0 || t.transferBytes > 0) {
+        registry.gauge("hw.offload_seconds").set(t.offloadSeconds);
+        registry.counter("hw.transfer_bytes").add(t.transferBytes);
+    }
+
     for (const auto &[kind, agg] : by_kind_) {
         std::string prefix = "hw.op." + kind;
         registry.gauge(prefix + ".seconds").set(agg.seconds);
@@ -201,6 +212,12 @@ HwTelemetry::exportTo(MetricsRegistry &registry) const
         double bytes = agg.bytesRead + agg.bytesWritten;
         registry.gauge(prefix + ".intensity")
             .set(bytes > 0.0 ? agg.flops / bytes : 0.0);
+        if (agg.offloadSeconds > 0.0 || agg.transferBytes > 0) {
+            registry.gauge(prefix + ".offload_seconds")
+                .set(agg.offloadSeconds);
+            registry.counter(prefix + ".transfer_bytes")
+                .add(agg.transferBytes);
+        }
     }
 
     registry.gauge("hw.machine.peak_gflops").set(roofline_.peakGflops);

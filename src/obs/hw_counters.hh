@@ -61,6 +61,9 @@ struct OpRecord
     uint64_t l2Lines = 0;   ///< cache lines serviced by L2
     uint64_t l3Lines = 0;   ///< cache lines serviced by the LLC
     uint64_t dramLines = 0; ///< cache lines serviced by DRAM
+
+    double offloadSeconds = 0.0;  ///< near-memory engine time
+    uint64_t transferBytes = 0;   ///< host<->engine link traffic
 };
 
 /** The machine's roofline envelope (Table II derived). */
@@ -90,6 +93,10 @@ struct HwTotals
     uint64_t l2Lines = 0;
     uint64_t l3Lines = 0;
     uint64_t dramLines = 0;
+
+    /** Offload-engine time and link traffic (zero on host-only runs). */
+    double offloadSeconds = 0.0;
+    uint64_t transferBytes = 0;
 
     /** Ground-truth simcache per-level statistics (delta-accumulated). */
     HierarchyCounters cache;
@@ -184,6 +191,8 @@ class HwTelemetry
         double flops = 0.0;
         double bytesRead = 0.0;
         double bytesWritten = 0.0;
+        double offloadSeconds = 0.0;
+        uint64_t transferBytes = 0;
         uint64_t invocations = 0;
     };
 

@@ -403,6 +403,26 @@ rooflineSection(const JsonValue &metrics)
         gaugeOf(metrics, "hw.arithmetic_intensity"),
         gaugeOf(metrics, "hw.achieved_gflops"),
         gaugeOf(metrics, "hw.dram_bandwidth_utilization") * 100.0);
+    // Near-memory offload: these ops' gather bytes never cross the host
+    // memory bus, so they sit outside the DRAM roof plotted above.
+    if (gaugeOf(metrics, "hw.offload_seconds") > 0.0) {
+        for (const std::string &kind : opKinds(metrics)) {
+            std::string p = "hw.op." + kind + ".";
+            double off = gaugeOf(metrics, p + "offload_seconds");
+            if (off <= 0.0)
+                continue;
+            out += strprintf(
+                "  %-12s offloaded: %.4g s on-engine, %.4g MB link "
+                "traffic (off the host DRAM roof)\n",
+                kind.c_str(), off,
+                counterOf(metrics, p + "transfer_bytes") / 1e6);
+        }
+        out += strprintf(
+            "  offload total: %.4g s on-engine, %.4g MB across the "
+            "host link\n",
+            gaugeOf(metrics, "hw.offload_seconds"),
+            counterOf(metrics, "hw.transfer_bytes") / 1e6);
+    }
     return out + "\n";
 }
 

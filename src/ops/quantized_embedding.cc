@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "backend/compute_backend.hh"
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
 #include "obs/trace.hh"
@@ -89,7 +90,7 @@ QuantizedEmbeddingTable::forward(const std::vector<int64_t> &ids,
     // Fused dequantize-accumulate through the tuned kernel: no scratch
     // row, and vector tiers fold the mul-add into one FMA (tolerance,
     // not bitwise, vs the scalar tier — DESIGN.md §14).
-    const KernelCache::SlsEntry &entry = KernelCache::global().sls(
+    const KernelCache::SlsEntry &entry = activeBackend().slsKernel(
         dim_, poolingBucket(slots > 0 ? total / slots : 0),
         /*quantized=*/true);
     const microkernels::QslsAccumFn accum = entry.plan.qfn;

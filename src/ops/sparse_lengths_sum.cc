@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "backend/compute_backend.hh"
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "core/thread_pool.hh"
@@ -65,7 +66,7 @@ EmbeddingTable::forward(const std::vector<int64_t> &ids,
     // The cache key buckets average pooling: the row-accumulate kernel
     // (vector tier + unroll) is what tuning picks, and element-wise
     // vertical adds keep every tier bit-identical to scalar.
-    const KernelCache::SlsEntry &entry = KernelCache::global().sls(
+    const KernelCache::SlsEntry &entry = activeBackend().slsKernel(
         dim_, poolingBucket(slots > 0 ? total / slots : 0),
         /*quantized=*/false);
     const microkernels::SlsAccumFn accum = entry.plan.fn;

@@ -205,6 +205,12 @@ ShardedInference::run(const RunOptions &options)
     std::string sdc_err = options.sdc.validate();
     RP_ASSERT(sdc_err.empty(), "%s", sdc_err.c_str());
 
+    if (options.backend) {
+        for (std::unique_ptr<ModelTimer> &timer : shard_timers_)
+            timer->setBackend(*options.backend);
+        agg_timer_->setBackend(*options.backend);
+    }
+
     FaultInjector injector(
         options.faults,
         numNodes() * (replicated ? options.replicas->replicas : 1));

@@ -221,6 +221,14 @@ struct RunOptions
      * Not owned; may be null.
      */
     FaultLog *faultLog = nullptr;
+
+    /**
+     * Optional compute-backend override: when engaged, every shard
+     * timer (and the aggregator) is rebound to this backend at run
+     * start. Disengaged keeps whatever TimerOptions::backend the
+     * timers were constructed with.
+     */
+    std::optional<BackendConfig> backend;
 };
 
 /**

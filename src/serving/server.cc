@@ -344,6 +344,9 @@ Server::serviceBatch(size_t worker, int64_t batch, double now,
             op.computeSeconds *= keep;
             op.memorySeconds *= keep;
             op.dispatchSeconds *= keep;
+            op.offloadSeconds *= keep;
+            op.transferBytes =
+                static_cast<uint64_t>(op.transferBytes * keep);
         }
     }
     double jitter = std::exp(jitter_rng_.nextGaussian() *

@@ -9,39 +9,6 @@
 
 namespace recperf {
 
-namespace {
-
-// Address-space layout: each embedding table gets a 64 GB region below
-// the tenant base so tables (and tenants) never alias cache lines.
-constexpr uint64_t kTableRegionBytes = 1ull << 36;
-
-// Fraction of the private L2 usable by FC weight panels (the rest is
-// activations, IDs, and framework state).
-constexpr double kL2UsableFrac = 0.8;
-
-// Core cycles of per-row bookkeeping in the SLS inner loop (index
-// loads, bounds handling, accumulation stalls). Scales with frequency,
-// which is one reason the 2.0 GHz Skylake loses small-batch SLS to the
-// 2.4 GHz Broadwell despite its faster DRAM.
-constexpr double kSlsPerRowCycles = 10.0;
-
-// Memory-controller queueing under co-location: every additional
-// active tenant adds a small delay to DRAM-serviced requests, up to 2x.
-double
-dramQueueFactor(uint32_t active_tenants)
-{
-    return std::min(2.0, 1.0 + 0.04 * (active_tenants - 1));
-}
-
-// Instruction-count model: IPC-1 dispatch plus vector loads/FMAs.
-double
-vectorInstructions(double flops, double bytes, int lanes)
-{
-    return flops / (2.0 * lanes) + bytes / 32.0;
-}
-
-} // namespace
-
 ModelTimer::ModelTimer(const MachineSpec &machine, const ModelConfig &config,
                        const TimerOptions &options)
     : machine_(machine), config_(config), options_(options)
@@ -60,6 +27,7 @@ ModelTimer::ModelTimer(const MachineSpec &machine, const ModelConfig &config,
     owned_hier_ = machine_.makeHierarchy(1);
     hier_ = owned_hier_.get();
     contention_rng_ = Rng(options_.seed ^ 0xc0ffee123ULL);
+    backend_ = makeBackend(options_.backend);
 }
 
 void
@@ -91,271 +59,29 @@ ModelTimer::setContention(uint32_t active_tenants,
     other_dram_bytes_per_inf_ = other_dram_bytes_per_inf;
 }
 
-double
-ModelTimer::llcShareBytes() const
+void
+ModelTimer::setBackend(const BackendConfig &backend)
 {
-    return static_cast<double>(machine_.l3.sizeBytes) /
-        static_cast<double>(active_tenants_);
+    options_.backend = backend;
+    backend_ = makeBackend(backend);
 }
 
-OpTiming
-ModelTimer::timeFc(const std::string &name, int64_t in, int64_t out)
+TimingContext
+ModelTimer::makeContext()
 {
-    OpTiming t;
-    t.kind = OpKind::FC;
-    t.name = name;
-
-    const double weight_bytes = static_cast<double>(in * out + out) * 4.0;
-    const double act_bytes =
-        static_cast<double>(options_.batch * (in + out)) * 4.0;
-    const double flops =
-        2.0 * static_cast<double>(options_.batch) * static_cast<double>(in) *
-        static_cast<double>(out);
-
-    // Steady-state residency: which level do the weights live in?
-    HitLevel level;
-    if (weight_bytes <= kL2UsableFrac *
-            static_cast<double>(machine_.l2.sizeBytes)) {
-        level = HitLevel::L2;
-    } else if (weight_bytes <= llcShareBytes()) {
-        level = HitLevel::L3;
-    } else {
-        level = HitLevel::Memory;
-    }
-
-    // DRAM fills — other tenants' and this tenant's own embedding
-    // traffic — displace part of the weight lines between consecutive
-    // inferences.
-    double refetch_frac = 0.0;
-    if (level == HitLevel::L3) {
-        // Capacity contention in the shared LLC. An exclusive LLC is
-        // only filled by the (much slower) stream of L2 victims, so
-        // displacement pressure is reduced.
-        double pressure = other_dram_bytes_per_inf_ + last_dram_bytes_;
-        if (machine_.policy == InclusionPolicy::Exclusive)
-            pressure *= 0.5;
-        // The neighbours' fill traffic is bursty: how much of it lands
-        // between two of this tenant's weight reuses varies inference
-        // to inference. This burstiness is what blows up p99 latency
-        // under heavy co-location (Fig 11) while p5 stays put.
-        pressure *= std::exp(contention_rng_.nextGaussian() * 0.6);
-        refetch_frac = std::min(1.0, pressure / llcShareBytes());
-    } else if (level == HitLevel::L2 &&
-               machine_.policy == InclusionPolicy::Inclusive) {
-        // Inclusive back-invalidation: when an L3 line with an L2 copy
-        // is evicted by another tenant's fill, the L2 copy dies too.
-        double pressure = other_dram_bytes_per_inf_ *
-            std::exp(contention_rng_.nextGaussian() * 0.6);
-        refetch_frac = std::min(
-            1.0, pressure / static_cast<double>(machine_.l3.sizeBytes));
-    }
-
-    double dram_queue = dramQueueFactor(active_tenants_);
-    double stream_seconds = machine_.streamSeconds(level, weight_bytes) *
-        (level == HitLevel::Memory ? dram_queue : 1.0);
-
-    // Displacement refetches are latency-exposed: they hit in bursts
-    // the prefetcher cannot anticipate, so — unlike steady streaming —
-    // they do not hide under the compute roofline.
-    double refetch_extra = refetch_frac * std::max(
-        0.0, dram_queue *
-                machine_.streamSeconds(HitLevel::Memory, weight_bytes) -
-            machine_.streamSeconds(level, weight_bytes));
-
-    // Activation traffic, from the private L2 (or LLC when large).
-    HitLevel act_level = act_bytes <= 0.5 *
-            static_cast<double>(machine_.l2.sizeBytes)
-        ? HitLevel::L2 : HitLevel::L3;
-    stream_seconds += machine_.streamSeconds(act_level, act_bytes);
-
-    t.computeSeconds =
-        flops / (machine_.simd.achievedFlopsPerCycle(options_.batch) *
-                 machine_.cyclesPerSecond());
-    t.memorySeconds = stream_seconds + refetch_extra;
-    t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
-    t.instructions = vectorInstructions(flops, weight_bytes + act_bytes,
-                                        simdLanes(machine_.simd.isa)) +
-        machine_.dispatchCyclesFor(t.kind);
-    t.cost.flops = flops;
-    t.cost.bytesRead = weight_bytes +
-        static_cast<double>(options_.batch * in) * 4.0;
-    t.cost.bytesWritten = static_cast<double>(options_.batch * out) * 4.0;
-
-    double dram_bytes = refetch_frac * weight_bytes +
-        (level == HitLevel::Memory ? weight_bytes : 0.0);
-    t.dramLines = static_cast<uint64_t>(dram_bytes / kCacheLineBytes);
-    uint64_t weight_lines =
-        static_cast<uint64_t>(weight_bytes / kCacheLineBytes);
-    if (level == HitLevel::L2)
-        t.l2Lines = weight_lines;
-    else if (level == HitLevel::L3)
-        t.l3Lines = weight_lines - t.dramLines;
-
-    double ht = options_.hyperthreading ? kHtFcPenalty : 1.0;
-    t.seconds = (std::max(t.computeSeconds, stream_seconds) +
-                 refetch_extra + t.dispatchSeconds) * ht;
-    return t;
-}
-
-OpTiming
-ModelTimer::timeSls(size_t table_index)
-{
-    OpTiming t;
-    t.kind = OpKind::SLS;
-    t.name = strprintf("SparseLengthsSum[%zu]", table_index);
-
-    const int64_t dim = config_.emb.embDim;
-    const int64_t row_bytes = config_.emb.rowBytes();
-    const uint64_t lines_per_row =
-        (static_cast<uint64_t>(row_bytes) + kCacheLineBytes - 1) /
-        kCacheLineBytes;
-    const int64_t rows = options_.batch * config_.emb.lookupsPerTable;
-    const uint64_t table_base = address_base_ +
-        (static_cast<uint64_t>(table_index) + 1) * kTableRegionBytes;
-
-    IdGenerator &gen = *table_gens_[table_index];
-    uint64_t hits[4] = {0, 0, 0, 0};
-    for (int64_t r = 0; r < rows; ++r) {
-        uint64_t row_addr = table_base +
-            static_cast<uint64_t>(gen.next()) *
-                static_cast<uint64_t>(row_bytes);
-        for (uint64_t l = 0; l < lines_per_row; ++l) {
-            HitLevel level = hier_->access(tenant_,
-                                           row_addr + l * kCacheLineBytes);
-            ++hits[static_cast<int>(level)];
-        }
-    }
-
-    t.l1Lines = hits[0];
-    t.l2Lines = hits[1];
-    t.l3Lines = hits[2];
-    t.dramLines = hits[3];
-
-    t.memorySeconds =
-        machine_.gatherSeconds(HitLevel::L1, static_cast<double>(hits[0])) +
-        machine_.gatherSeconds(HitLevel::L2, static_cast<double>(hits[1])) +
-        machine_.gatherSeconds(HitLevel::L3, static_cast<double>(hits[2])) +
-        machine_.gatherSeconds(HitLevel::Memory,
-                               static_cast<double>(hits[3]),
-                               options_.batch) *
-            dramQueueFactor(active_tenants_) +
-        static_cast<double>(rows) * kSlsPerRowCycles /
-            machine_.cyclesPerSecond();
-
-    const double flops = static_cast<double>(rows) *
-        static_cast<double>(dim);
-    // Element-wise sums issue on the vector units but are latency-bound
-    // behind the gathers; a quarter of peak is generous.
-    t.computeSeconds = flops /
-        (0.25 * machine_.simd.peakFlopsPerCycle() *
-         machine_.cyclesPerSecond());
-    t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
-    t.instructions = static_cast<double>(rows) *
-            (static_cast<double>(dim) / simdLanes(machine_.simd.isa) * 2.0 +
-             8.0) +
-        machine_.dispatchCyclesFor(t.kind);
-    t.cost.flops = flops;
-    // Row reads plus 8 B of sparse-ID metadata per row; one pooled
-    // output vector per sample.
-    t.cost.bytesRead = static_cast<double>(rows) *
-        (static_cast<double>(row_bytes) + 8.0);
-    t.cost.bytesWritten = static_cast<double>(options_.batch) *
-        static_cast<double>(dim) * 4.0;
-
-    double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
-    t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
-                 t.dispatchSeconds) * ht;
-    return t;
-}
-
-OpTiming
-ModelTimer::timeConcat()
-{
-    OpTiming t;
-    t.kind = OpKind::Concat;
-    t.name = "Concat";
-    double bytes = static_cast<double>(options_.batch) *
-        static_cast<double>(config_.topInputDim()) * 4.0 * 2.0;
-    t.memorySeconds = machine_.streamSeconds(HitLevel::L2, bytes);
-    t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
-    t.instructions = bytes / 32.0 + machine_.dispatchCyclesFor(t.kind);
-    t.cost.bytesRead = bytes * 0.5;
-    t.cost.bytesWritten = bytes * 0.5;
-    double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
-    t.seconds = (t.memorySeconds + t.dispatchSeconds) * ht;
-    return t;
-}
-
-OpTiming
-ModelTimer::timeBatchMM()
-{
-    OpTiming t;
-    t.kind = OpKind::BatchMM;
-    t.name = "BatchMatMul";
-
-    const int64_t f = config_.featureCount();
-    const int64_t d = config_.emb.embDim;
-    // Caffe2 computes the full f x f product per sample and slices the
-    // triangle afterwards.
-    const double flops = 2.0 * static_cast<double>(options_.batch) *
-        static_cast<double>(f) * static_cast<double>(f) *
-        static_cast<double>(d);
-    const double bytes = static_cast<double>(options_.batch) *
-        (static_cast<double>(f * d) * 4.0 +
-         static_cast<double>(f * f) * 4.0);
-
-    // The GEMM M-dimension is the feature count (tens), so wide-SIMD
-    // register tiles fill according to f, not the request batch.
-    t.computeSeconds = flops /
-        (machine_.simd.achievedFlopsPerCycle(f) *
-         machine_.cyclesPerSecond());
-    t.memorySeconds = machine_.streamSeconds(HitLevel::L2, bytes);
-    t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
-    t.instructions = vectorInstructions(flops, bytes,
-                                        simdLanes(machine_.simd.isa)) +
-        machine_.dispatchCyclesFor(t.kind);
-    t.cost.flops = flops;
-    t.cost.bytesRead = static_cast<double>(options_.batch) *
-        static_cast<double>(f * d) * 4.0;
-    t.cost.bytesWritten = static_cast<double>(options_.batch) *
-        static_cast<double>(f * f) * 4.0;
-
-    double ht = options_.hyperthreading ? kHtFcPenalty : 1.0;
-    t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
-                 t.dispatchSeconds) * ht;
-    return t;
-}
-
-OpTiming
-ModelTimer::timeInteraction()
-{
-    return config_.interaction == InteractionKind::Dot ? timeBatchMM()
-                                                       : timeConcat();
-}
-
-OpTiming
-ModelTimer::timeActivation(const std::string &name, int64_t elements)
-{
-    OpTiming t;
-    t.kind = OpKind::Activation;
-    t.name = name;
-    double flops = static_cast<double>(elements);
-    double bytes = flops * 4.0 * 2.0;
-    t.computeSeconds = flops /
-        (0.5 * machine_.simd.peakFlopsPerCycle() *
-         machine_.cyclesPerSecond());
-    t.memorySeconds = machine_.streamSeconds(HitLevel::L1, bytes);
-    t.dispatchSeconds = machine_.dispatchSeconds(t.kind);
-    t.instructions = vectorInstructions(flops, bytes,
-                                        simdLanes(machine_.simd.isa)) +
-        machine_.dispatchCyclesFor(t.kind);
-    t.cost.flops = flops;
-    t.cost.bytesRead = flops * 4.0;
-    t.cost.bytesWritten = flops * 4.0;
-    double ht = options_.hyperthreading ? kHtSlsPenalty : 1.0;
-    t.seconds = (std::max(t.computeSeconds, t.memorySeconds) +
-                 t.dispatchSeconds) * ht;
-    return t;
+    TimingContext ctx{machine_, config_};
+    ctx.batch = options_.batch;
+    ctx.hyperthreading = options_.hyperthreading;
+    ctx.repeatWindow = options_.repeatWindow;
+    ctx.hier = hier_;
+    ctx.tenant = tenant_;
+    ctx.addressBase = address_base_;
+    ctx.activeTenants = active_tenants_;
+    ctx.otherDramBytesPerInf = other_dram_bytes_per_inf_;
+    ctx.lastDramBytes = last_dram_bytes_;
+    ctx.contentionRng = &contention_rng_;
+    ctx.tableGens = &table_gens_;
+    return ctx;
 }
 
 ModelTiming
@@ -370,29 +96,37 @@ ModelTimer::run()
         telem.sampleHierarchy(*hier_);
     }
 
+    // One context per inference: the hooks see exactly the state the
+    // pre-backend member functions saw, in the same order.
+    TimingContext ctx = makeContext();
+
     int64_t in = config_.denseFeatures;
     for (size_t i = 0; i < config_.bottomMlp.size(); ++i) {
         int64_t out = config_.bottomMlp[i];
         timing.ops.push_back(
-            timeFc(strprintf("Bottom-FC[%zu]", i), in, out));
-        timing.ops.push_back(timeActivation(
-            strprintf("ReLU-bottom[%zu]", i), options_.batch * out));
+            backend_->timeFc(ctx, strprintf("Bottom-FC[%zu]", i), in,
+                             out));
+        timing.ops.push_back(backend_->timeActivation(
+            ctx, strprintf("ReLU-bottom[%zu]", i), options_.batch * out));
         in = out;
     }
 
     for (size_t tbl = 0; tbl < table_gens_.size(); ++tbl)
-        timing.ops.push_back(timeSls(tbl));
+        timing.ops.push_back(backend_->timeSls(ctx, tbl));
 
-    timing.ops.push_back(timeInteraction());
+    timing.ops.push_back(config_.interaction == InteractionKind::Dot
+                             ? backend_->timeBatchMM(ctx)
+                             : backend_->timeConcat(ctx));
 
     in = config_.topInputDim();
     for (size_t i = 0; i < config_.topMlp.size(); ++i) {
         int64_t out = config_.topMlp[i];
-        timing.ops.push_back(timeFc(strprintf("Top-FC[%zu]", i), in, out));
+        timing.ops.push_back(
+            backend_->timeFc(ctx, strprintf("Top-FC[%zu]", i), in, out));
         const char *act = i + 1 < config_.topMlp.size() ? "ReLU-top"
                                                         : "Sigmoid";
-        timing.ops.push_back(timeActivation(
-            strprintf("%s[%zu]", act, i), options_.batch * out));
+        timing.ops.push_back(backend_->timeActivation(
+            ctx, strprintf("%s[%zu]", act, i), options_.batch * out));
         in = out;
     }
 

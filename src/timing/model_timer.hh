@@ -20,6 +20,13 @@
  *
  * Latency is the serial sum of operator latencies: the paper runs one
  * Caffe2 worker with one MKL thread per model instance (§IV).
+ *
+ * The per-operator cost models live in the pluggable ComputeBackend
+ * (backend/compute_backend.hh): CpuBackend carries the models above
+ * verbatim, NmpBackend re-models SLS as a near-memory engine. The
+ * ModelTimer owns run structure and state — trace generators, cache
+ * hierarchy, contention, aggregation — and hands each hook a
+ * TimingContext snapshot.
  */
 
 #ifndef RECPERF_TIMING_MODEL_TIMER_HH
@@ -28,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/compute_backend.hh"
 #include "machine/machine_spec.hh"
 #include "model/config.hh"
 #include "timing/op_timing.hh"
@@ -57,6 +65,9 @@ struct TimerOptions
     size_t repeatWindow = 32768;
 
     uint64_t seed = 42;
+
+    /** Which compute backend models this instance's operators. */
+    BackendConfig backend;
 };
 
 /** Hyperthreading penalties measured in §VI. */
@@ -100,6 +111,13 @@ class ModelTimer
      */
     void setBatch(int64_t batch);
 
+    /**
+     * Rebind this timer to a different compute backend (e.g. a
+     * RunOptions-level backend override at run start). Trace, cache,
+     * and contention state are untouched.
+     */
+    void setBackend(const BackendConfig &backend);
+
     /** Time one inference, advancing cache and trace state. */
     ModelTiming run();
 
@@ -112,6 +130,9 @@ class ModelTimer
     const ModelConfig &config() const { return config_; }
     const TimerOptions &options() const { return options_; }
 
+    /** The backend currently modeling this timer's operators. */
+    const ComputeBackend &backend() const { return *backend_; }
+
     /** DRAM bytes this tenant filled during its most recent run(). */
     double lastDramBytes() const { return last_dram_bytes_; }
 
@@ -119,19 +140,13 @@ class ModelTimer
     const CacheHierarchy *hierarchy() const { return hier_; }
 
   private:
-    OpTiming timeFc(const std::string &name, int64_t in, int64_t out);
-    OpTiming timeSls(size_t table_index);
-    OpTiming timeConcat();
-    OpTiming timeBatchMM();
-    OpTiming timeInteraction();
-    OpTiming timeActivation(const std::string &name, int64_t elements);
-
-    /** Effective LLC bytes available to this tenant's FC weights. */
-    double llcShareBytes() const;
+    /** Snapshot the state a backend timing hook may read or advance. */
+    TimingContext makeContext();
 
     MachineSpec machine_;
     ModelConfig config_;
     TimerOptions options_;
+    std::unique_ptr<ComputeBackend> backend_;
 
     std::unique_ptr<CacheHierarchy> owned_hier_;
     CacheHierarchy *hier_ = nullptr;

@@ -114,6 +114,8 @@ ModelTiming::accumulate(const ModelTiming &other)
         dst.computeSeconds += src.computeSeconds;
         dst.memorySeconds += src.memorySeconds;
         dst.dispatchSeconds += src.dispatchSeconds;
+        dst.offloadSeconds += src.offloadSeconds;
+        dst.transferBytes += src.transferBytes;
         dst.instructions += src.instructions;
         dst.cost += src.cost;
         dst.l1Lines += src.l1Lines;
@@ -147,6 +149,8 @@ ModelTiming::scale(double inv_n)
         op.computeSeconds *= inv_n;
         op.memorySeconds *= inv_n;
         op.dispatchSeconds *= inv_n;
+        op.offloadSeconds *= inv_n;
+        op.transferBytes = static_cast<uint64_t>(op.transferBytes * inv_n);
         op.instructions *= inv_n;
         op.cost.flops *= inv_n;
         op.cost.bytesRead *= inv_n;
@@ -181,6 +185,8 @@ recordTelemetry(obs::HwTelemetry &telemetry, const MachineSpec &machine,
         rec.l2Lines = op.l2Lines;
         rec.l3Lines = op.l3Lines;
         rec.dramLines = op.dramLines;
+        rec.offloadSeconds = op.offloadSeconds;
+        rec.transferBytes = op.transferBytes;
         telemetry.recordOp(rec);
     }
 }

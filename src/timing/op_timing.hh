@@ -31,6 +31,16 @@ struct OpTiming
     double memorySeconds = 0.0;    ///< memory-bound component
     double dispatchSeconds = 0.0;  ///< fixed framework overhead
 
+    /**
+     * Time spent on a near-memory/offload engine (zero for host-only
+     * backends). Offloaded work never touches the host hierarchy, so
+     * these seconds sit outside the DRAM roofline ceiling.
+     */
+    double offloadSeconds = 0.0;
+
+    /** Host<->engine link traffic (command upload + result download). */
+    uint64_t transferBytes = 0;
+
     /** Estimated dynamic instructions (for MPKI metrics). */
     double instructions = 0.0;
 

@@ -28,12 +28,15 @@ TEST(BenchJson, EnvelopeMatchesGolden)
         .add("ok", true);
     writer.newResult().add("name", "row two").add("p99_ms", 0.5);
 
-    // host_cores is the only machine-dependent field; substitute it.
+    // host_cores and the backend/ISA stamp are the machine-dependent
+    // fields; substitute them from the live process.
     std::string golden = std::string("{\n") +
         "  \"schema_version\": 1,\n"
         "  \"bench\": \"unit_test_bench\",\n"
         "  \"machine\": {\n"
-        "    \"host_cores\": @CORES@\n"
+        "    \"host_cores\": @CORES@,\n"
+        "    \"backend\": \"@BACKEND@\",\n"
+        "    \"isa\": \"@ISA@\"\n"
         "  },\n"
         "  \"config\": {\n"
         "    \"iters\": 100,\n"
@@ -55,6 +58,13 @@ TEST(BenchJson, EnvelopeMatchesGolden)
     std::string cores =
         std::to_string(std::thread::hardware_concurrency());
     golden.replace(golden.find("@CORES@"), 7, cores);
+    const BackendConfig &backend = activeBackendConfig();
+    golden.replace(golden.find("@BACKEND@"), 9,
+                   backendKindName(backend.kind));
+    golden.replace(golden.find("@ISA@"), 5,
+                   backend.isa.autoSelect
+                       ? "auto"
+                       : kernelIsaName(backend.isa.pinned));
 
     EXPECT_EQ(writer.str(), golden);
 }

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/compute_backend.hh"
 #include "core/args.hh"
 #include "core/logging.hh"
 #include "core/rng.hh"
@@ -129,6 +130,7 @@ cmdTime(ArgParser &args)
     opts.batch = args.optionInt("batch");
     opts.zipfAlpha = args.optionDouble("zipf");
     opts.repeatProb = args.optionDouble("repeat");
+    opts.backend = activeBackendConfig();
 
     ModelTimer timer(machine, cfg, opts);
     ModelTiming t = timer.steadyState(
@@ -138,6 +140,24 @@ cmdTime(ArgParser &args)
     std::printf("%s on %s, batch %lld:\n", cfg.name.c_str(),
                 machine.name.c_str(),
                 static_cast<long long>(opts.batch));
+    // Default cpu runs print nothing extra — their output is a
+    // byte-equality anchor across the backend refactor.
+    if (opts.backend.kind != BackendKind::Cpu) {
+        const NmpConfig &nmp = opts.backend.nmp;
+        std::printf("  backend:    %10s (%u ranks @ %.1f GB/s, link "
+                    "%.1f GB/s, placement %s)\n",
+                    timer.backend().name(), nmp.ranks, nmp.rankGBps,
+                    nmp.linkGBps, nmpPlacementName(nmp.placement));
+        double offload = 0.0;
+        uint64_t transfer = 0;
+        for (const OpTiming &op : t.ops) {
+            offload += op.offloadSeconds;
+            transfer += op.transferBytes;
+        }
+        std::printf("  offload:    %10.3f ms on-engine, %.1f KB over "
+                    "the host link\n", offload * 1e3,
+                    static_cast<double>(transfer) / 1024.0);
+    }
     std::printf("  latency:    %10.3f ms\n", t.totalSeconds() * 1e3);
     std::printf("  throughput: %10.0f items/s (single core)\n",
                 static_cast<double>(opts.batch) / t.totalSeconds());
@@ -160,6 +180,7 @@ cmdColocate(ArgParser &args)
         static_cast<uint32_t>(args.optionInt("max-tenants"));
     TimerOptions opts;
     opts.batch = args.optionInt("batch");
+    opts.backend = activeBackendConfig();
 
     std::printf("co-locating %s on %s (batch %lld):\n", cfg.name.c_str(),
                 machine.name.c_str(),
@@ -573,7 +594,9 @@ cmdServe(ArgParser &args)
     faults.shardMtbfSeconds = 0.0; // shard failures only apply to shard
     sopts.faults = faults;
 
-    Server server(machine, cfg, TimerOptions{}, sopts);
+    TimerOptions topts;
+    topts.backend = activeBackendConfig();
+    Server server(machine, cfg, topts, sopts);
     ServingStats stats = server.runOpenLoop(
         args.optionDouble("rate"),
         static_cast<uint64_t>(args.optionInt("items")));
@@ -694,6 +717,7 @@ cmdShard(ArgParser &args)
     MachineSpec machine = machineByName(args.option("machine"));
     TimerOptions topts;
     topts.batch = args.optionInt("batch");
+    topts.backend = activeBackendConfig();
     auto nodes = static_cast<uint32_t>(args.optionInt("nodes"));
     int iters = static_cast<int>(args.optionInt("iters"));
 
@@ -716,6 +740,9 @@ cmdShard(ArgParser &args)
     RunOptions ropts;
     ropts.warmupIters = 20;
     ropts.measureIters = iters;
+    // Redundant with topts.backend for the CLI, but exercises the
+    // run-level override every embedding client can use.
+    ropts.backend = activeBackendConfig();
     ropts.faults = faults;
     ropts.retry = retry;
     ropts.hedge = hedge;
@@ -1069,10 +1096,31 @@ main(int argc, char **argv)
     args.addOption("threads", "0",
                    "tensor-op worker threads (0 = RECPERF_THREADS or "
                    "hardware)");
+    args.addOption("backend", "cpu",
+                   "compute backend: cpu|nmp (overrides "
+                   "RECPERF_BACKEND; nmp offloads SparseLengthsSum to "
+                   "a near-memory engine)");
     args.addOption("isa", "auto",
                    "kernel ISA tier: scalar|avx2|avx512|auto "
                    "(overrides RECPERF_ISA; pinned tiers are "
-                   "bit-deterministic)");
+                   "bit-deterministic; part of the backend spec)");
+    args.addOption("nmp-ranks", "8",
+                   "PIM-enabled memory ranks (nmp backend)");
+    args.addOption("nmp-rank-gbps", "9.6",
+                   "in-rank gather bandwidth per rank, GB/s (nmp)");
+    args.addOption("nmp-row-ns", "50",
+                   "per-row in-rank access latency, ns (nmp)");
+    args.addOption("nmp-link-gbps", "12",
+                   "host<->PIM link bandwidth, GB/s (nmp)");
+    args.addOption("nmp-launch-us", "2",
+                   "per-offloaded-op launch round trip, us (nmp)");
+    args.addOption("nmp-placement", "auto",
+                   "which tables offload: auto|all|none (nmp)");
+    args.addOption("nmp-min-table-kb", "1024",
+                   "auto placement: smaller tables stay on host (nmp)");
+    args.addOption("nmp-host-llc-frac", "0.5",
+                   "auto placement: tables within this fraction of "
+                   "the LLC share stay on host (nmp)");
     args.addFlag("dump-kernel-cache",
                  "print the memoized kernel table after eval");
     args.addOption("rows-cap", "4096",
@@ -1213,35 +1261,88 @@ main(int argc, char **argv)
     if (args.optionInt("threads") > 0)
         setGlobalThreadCount(static_cast<int>(args.optionInt("threads")));
 
-    // Resolve the kernel ISA up front (flag > RECPERF_ISA env > auto)
-    // and fail fast — exit 2, like every other argument error — before
-    // any kernel runs. Both sources are validated: a bad env var is an
-    // error even when an explicit --isa would override it.
+    // Resolve the backend spec up front — backend family and kernel
+    // ISA tier are one validated unit (flag > env > default for each
+    // component) — and fail fast with exit 2, like every other
+    // argument error, before any kernel runs. Both sources are
+    // validated: a bad env var is an error even when an explicit flag
+    // would override it.
     {
+        std::string backend_name = args.option("backend");
+        if (const char *env = std::getenv("RECPERF_BACKEND")) {
+            if (!backendKindFromName(env, nullptr)) {
+                std::fprintf(stderr,
+                             "error: RECPERF_BACKEND: unknown backend "
+                             "'%s' (expected cpu|nmp)\n", env);
+                return 2;
+            }
+            if (!args.explicitlySet("backend"))
+                backend_name = env;
+        }
         std::string isa_name = args.option("isa");
-        IsaPolicy policy;
-        std::string err;
         if (const char *env = std::getenv("RECPERF_ISA")) {
-            err = isaPolicyFromName(env, &policy);
-            if (!err.empty()) {
+            IsaPolicy probe;
+            std::string env_err = isaPolicyFromName(env, &probe);
+            if (!env_err.empty()) {
                 std::fprintf(stderr, "error: RECPERF_ISA: %s\n",
-                             err.c_str());
+                             env_err.c_str());
                 return 2;
             }
             if (!args.explicitlySet("isa"))
                 isa_name = env;
         }
-        err = isaPolicyFromName(isa_name, &policy);
-        if (err.empty() && !policy.autoSelect &&
-            !microkernels::kernelsFor(policy.pinned).available) {
-            err = "ISA tier '" + isa_name +
-                "' was not compiled into this binary";
-        }
+        BackendConfig backend;
+        std::string err =
+            backendConfigFromSpec(backend_name, isa_name, &backend);
         if (!err.empty()) {
-            std::fprintf(stderr, "error: --isa: %s\n", err.c_str());
+            std::fprintf(stderr, "error: --backend/--isa: %s\n",
+                         err.c_str());
             return 2;
         }
-        KernelCache::global().setPolicy(policy);
+
+        // NMP knobs only make sense against the nmp backend; a knob on
+        // a cpu run is a spec error, not something to silently ignore.
+        static const char *kNmpKnobs[] = {
+            "nmp-ranks", "nmp-rank-gbps", "nmp-row-ns", "nmp-link-gbps",
+            "nmp-launch-us", "nmp-placement", "nmp-min-table-kb",
+            "nmp-host-llc-frac"};
+        if (backend.kind != BackendKind::Nmp) {
+            for (const char *knob : kNmpKnobs) {
+                if (args.explicitlySet(knob)) {
+                    std::fprintf(stderr,
+                                 "error: --%s requires --backend=nmp\n",
+                                 knob);
+                    return 2;
+                }
+            }
+        } else {
+            backend.nmp.ranks =
+                static_cast<uint32_t>(args.optionInt("nmp-ranks"));
+            backend.nmp.rankGBps = args.optionDouble("nmp-rank-gbps");
+            backend.nmp.rowAccessNs = args.optionDouble("nmp-row-ns");
+            backend.nmp.linkGBps = args.optionDouble("nmp-link-gbps");
+            backend.nmp.launchUs = args.optionDouble("nmp-launch-us");
+            backend.nmp.minTableBytes =
+                static_cast<uint64_t>(
+                    args.optionInt("nmp-min-table-kb")) * 1024;
+            backend.nmp.hostLlcFraction =
+                args.optionDouble("nmp-host-llc-frac");
+            if (!nmpPlacementFromName(args.option("nmp-placement"),
+                                      &backend.nmp.placement)) {
+                std::fprintf(stderr,
+                             "error: --nmp-placement: unknown policy "
+                             "'%s' (expected auto|all|none)\n",
+                             args.option("nmp-placement").c_str());
+                return 2;
+            }
+            err = backend.nmp.validate();
+            if (!err.empty()) {
+                std::fprintf(stderr, "error: --backend=nmp: %s\n",
+                             err.c_str());
+                return 2;
+            }
+        }
+        setActiveBackend(backend);
     }
 
     try {
