@@ -1,147 +1,249 @@
 /**
  * @file
- * Regenerates Figure 11: the latency distribution of a standalone FC
- * operator co-located with RMC1 inferences in a production-like
- * environment.
+ * Figure 11, reconstructed from the request log: where the latency
+ * tail comes from.
  *
- * Shapes to reproduce:
- *  (a) on Broadwell the FC latency distribution is multimodal — one
- *      mode per co-location regime — while Skylake shows a single mode;
- *  (b) mean latency rises with co-location and the p5..p99 band blows
- *      up on Broadwell at high co-location, but grows gradually on
- *      Skylake (exclusive LLC; larger L2 holds the FC's weights);
- *  (c) the same holds for a larger FC that no longer fits Skylake's L2.
+ * The paper's Fig 11 shows the latency distribution of a production
+ * operator blowing up under co-location — the tail is not noise, it
+ * has causes. This bench derives that decomposition from the
+ * per-request causal records (obs/request_log.hh) alone: each scenario
+ * runs a serving loop with the request logger enabled, then attributes
+ * the p99-p50 gap to the mechanism that charged it (queue wait,
+ * shard stragglers, hedges, retries, scrub tax, ...).
+ *
+ * Scenario grid:
+ *  - serve_overload: open-loop serving at 1.4x saturation — the tail
+ *    is queueing delay;
+ *  - shard_clean: sharded fan-out with no fault injection — the tail
+ *    is shard imbalance + aggregation;
+ *  - shard_straggler: 30% straggling shards — the tail must be
+ *    dominated by `shard_straggler` (asserted);
+ *  - shard_hedged: the same stragglers with hedged requests — hedges
+ *    buy back tail at a visible `hedge` blame share.
+ *
+ * Invariants asserted in every scenario (the CI observability leg
+ * runs this binary):
+ *  - blame fractions sum to 1 within 1e-6;
+ *  - every record's phase durations tile its latency (rel 1e-6);
+ *  - under injected stragglers, `shard_straggler` is the top cause.
+ *
+ * Emits JSON for scripts/run_bench.sh (BENCH_tail_attribution.json);
+ * all measurements ride the deterministic virtual clocks, so a fresh
+ * run reproduces the committed baseline exactly.
+ *
+ *   fig11_tail_latency [--quick] [--seed 3] [--out file.json]
  */
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "core/args.hh"
 #include "core/logging.hh"
-#include "core/rng.hh"
 #include "core/stats.hh"
 #include "machine/machine_spec.hh"
 #include "model/zoo.hh"
-#include "timing/colocation.hh"
+#include "obs/request_log.hh"
+#include "resilience/fault_injector.hh"
+#include "serving/distributed.hh"
+#include "serving/server.hh"
 
 using namespace recperf;
 
 namespace {
 
-/** FC-probe model: one FC layer of the given width, no embeddings. */
-ModelConfig
-fcProbe(int64_t width)
+constexpr double kBlameSumTol = 1e-6;
+
+struct Scenario
 {
-    ModelConfig m;
-    m.name = strprintf("fc-%lldx%lld", static_cast<long long>(width),
-                       static_cast<long long>(width));
-    m.modelClass = ModelClass::Other;
-    m.denseFeatures = width;
-    m.bottomMlp = {width};
-    m.topMlp = {64, 1};
-    m.validate();
-    return m;
+    std::string name;
+    uint64_t offered = 0;
+    std::vector<obs::RequestRecord> records;
+    obs::TailAttribution tail;
+};
+
+/** Pull the log + attribution accumulated by the run just finished. */
+Scenario
+capture(const std::string &name, uint64_t offered)
+{
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    Scenario s;
+    s.name = name;
+    s.offered = offered;
+    s.records = rlog.records();
+    s.tail = rlog.attribution();
+    return s;
 }
 
-/** FC time samples of the probe under N co-located RMC1 instances. */
-std::vector<double>
-probeSamples(const MachineSpec &machine, int64_t width, uint32_t colocated,
-             int iters)
+Scenario
+runServeOverload(uint64_t seed, uint64_t items)
 {
-    std::vector<TenantSpec> tenants;
-    TimerOptions probe_opts;
-    probe_opts.batch = 1;
-    tenants.push_back({fcProbe(width), probe_opts});
-    for (uint32_t i = 0; i < colocated; ++i) {
-        TimerOptions opts;
-        opts.batch = 32;
-        opts.seed = 1000 + i;
-        tenants.push_back({rmc1Large(), opts});
-    }
-    ColocationSim sim(machine, tenants);
-    ColocationResult r = sim.run(8, iters);
+    ServerOptions sopts;
+    sopts.numWorkers = 2;
+    sopts.maxBatch = 16;
+    sopts.slaSeconds = 1.5e-3;
+    sopts.seed = seed;
+    TimerOptions topts;
+    topts.batch = sopts.maxBatch;
+    Server probe(broadwell(), rmc1Small(), topts, sopts);
+    double saturation =
+        probe.runClosedLoop(40).totalThroughput();
+    Server server(broadwell(), rmc1Small(), topts, sopts);
+    server.runOpenLoop(1.4 * saturation, items);
+    return capture("serve_overload", items);
+}
 
-    // Apply production-environment jitter (scheduler noise) and keep
-    // only the probe tenant's samples (tenant 0, stride = #tenants).
-    Rng jitter(42 + colocated);
-    std::vector<double> samples;
-    for (size_t i = 0; i < r.fcSamples.size(); i += tenants.size()) {
-        double noise = std::exp(jitter.nextGaussian() * 0.03);
-        samples.push_back(r.fcSamples[i] * noise * 1e6);
+Scenario
+runShard(const std::string &name, uint64_t seed, int iters,
+         double straggler_prob, bool hedge)
+{
+    TimerOptions topts;
+    topts.batch = 16;
+    ShardedInference sim(broadwell(), rmc1Small(), 4, NetworkConfig{},
+                         topts);
+    RunOptions ropts;
+    ropts.warmupIters = 10;
+    ropts.measureIters = iters;
+    ropts.faults.stragglerProb = straggler_prob;
+    ropts.faults.seed = seed;
+    ropts.hedge.enabled = hedge;
+    sim.run(ropts);
+    return capture(name, static_cast<uint64_t>(iters));
+}
+
+/** Largest-blame cause index of a scenario. */
+size_t
+topCause(const obs::TailAttribution &tail)
+{
+    size_t top = 0;
+    for (size_t c = 1; c < obs::kNumRequestPhases; ++c) {
+        if (tail.blame[c] > tail.blame[top])
+            top = c;
     }
-    return samples;
+    return top;
 }
 
 void
-distributionPanel(int64_t width)
+checkInvariants(const Scenario &s)
 {
-    for (const MachineSpec &machine : {broadwell(), skylake()}) {
-        std::printf("  %s, FC %lldx%lld (weights %.0f KB)\n",
-                    machine.name.c_str(), static_cast<long long>(width),
-                    static_cast<long long>(width),
-                    static_cast<double>(width * width) * 4.0 / 1024.0);
-        std::printf("  %4s %10s %10s %10s %10s\n", "N", "p5(us)",
-                    "mean(us)", "p99(us)", "p99/p5");
-        for (uint32_t n : {0u, 6u, 12u, 18u}) {
-            std::vector<double> s = probeSamples(machine, width, n, 24);
-            double p5 = percentile(s, 5);
-            double mean = 0;
-            for (double x : s)
-                mean += x;
-            mean /= static_cast<double>(s.size());
-            double p99 = percentile(s, 99);
-            std::printf("  %4u %10.2f %10.2f %10.2f %9.2fx\n", n, p5,
-                        mean, p99, p99 / p5);
-        }
+    double sum = 0.0;
+    for (double b : s.tail.blame)
+        sum += b;
+    RP_ASSERT(std::fabs(sum - 1.0) <= kBlameSumTol,
+              "'%s': blame fractions sum to %.9f, not 1 +/- %g",
+              s.name.c_str(), sum, kBlameSumTol);
+    for (const obs::RequestRecord &rec : s.records) {
+        double err = std::fabs(rec.phaseSum() - rec.latency);
+        RP_ASSERT(err <= 1e-9 + 1e-6 * rec.latency,
+                  "'%s' record %llu: phases sum to %.12g but latency "
+                  "is %.12g", s.name.c_str(),
+                  static_cast<unsigned long long>(rec.id),
+                  rec.phaseSum(), rec.latency);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Figure 11: FC operator tail latency under "
-                  "co-location");
+    ArgParser args("fig11_tail_latency",
+                   "tail-latency attribution from per-request records");
+    args.addFlag("quick", "CI-sized run (2000 items / 300 iters)");
+    args.addOption("seed", "3", "arrival/jitter/fault seed");
+    args.addOption("out", "", "write JSON here (default: stdout)");
+    std::string error;
+    if (!args.parse({argv + 1, argv + argc}, &error)) {
+        std::fprintf(stderr, "error: %s\n%s", error.c_str(),
+                     args.helpText().c_str());
+        return 2;
+    }
+    bool quick = args.flag("quick");
+    auto seed = static_cast<uint64_t>(args.optionInt("seed"));
+    uint64_t items = quick ? 2000 : 6000;
+    int iters = quick ? 300 : 1000;
 
-    // (a) Latency histogram on Broadwell: mixture over co-location
-    // regimes (low / medium / high), as in the production environment.
-    bench::section("(a) Broadwell FC latency distribution across "
-                   "co-location regimes");
-    {
-        std::vector<double> all;
-        for (uint32_t n : {0u, 10u, 18u}) {
-            auto s = probeSamples(broadwell(), 448, n, 24);
-            all.insert(all.end(), s.begin(), s.end());
-        }
-        double lo = percentile(all, 0.5) * 0.9;
-        double hi = percentile(all, 99.5) * 1.1;
-        Histogram hist(lo, hi, 24);
-        for (double x : all)
-            hist.add(x);
-        std::printf("%s", hist.render(46).c_str());
+    bench::banner(strprintf(
+        "Figure 11 (reconstructed): tail-latency attribution from the "
+        "request log\n(RMC1 on Broadwell, seed %llu)",
+        static_cast<unsigned long long>(seed)));
 
-        std::vector<double> skl_all;
-        for (uint32_t n : {0u, 10u, 18u}) {
-            auto s = probeSamples(skylake(), 448, n, 24);
-            skl_all.insert(skl_all.end(), s.begin(), s.end());
-        }
-        std::printf("\n  Skylake same mixture (single mode expected):\n");
-        Histogram skl_hist(percentile(skl_all, 0.5) * 0.9,
-                           percentile(skl_all, 99.5) * 1.1, 24);
-        for (double x : skl_all)
-            skl_hist.add(x);
-        std::printf("%s", skl_hist.render(46).c_str());
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    rlog.configure(obs::RequestLogOptions{});
+    rlog.setEnabled(true);
+
+    std::vector<Scenario> grid;
+    grid.push_back(runServeOverload(seed, items));
+    grid.push_back(runShard("shard_clean", seed, iters, 0.0, false));
+    grid.push_back(runShard("shard_straggler", seed, iters, 0.3, false));
+    grid.push_back(runShard("shard_hedged", seed, iters, 0.3, true));
+    rlog.setEnabled(false);
+
+    bench::section("p99 - p50 blame decomposition");
+    std::printf("  %-16s %6s %9s %9s %9s  %s\n", "scenario", "served",
+                "p50(ms)", "p99(ms)", "gap(ms)", "top cause");
+    for (const Scenario &s : grid) {
+        size_t top = topCause(s.tail);
+        std::printf("  %-16s %6llu %9.3f %9.3f %9.3f  %s %.0f%%\n",
+                    s.name.c_str(),
+                    static_cast<unsigned long long>(s.tail.served),
+                    s.tail.p50 * 1e3, s.tail.p99 * 1e3,
+                    s.tail.gap * 1e3,
+                    obs::requestPhaseName(
+                        static_cast<obs::RequestPhase>(top)),
+                    s.tail.blame[top] * 100.0);
     }
 
-    // (b) FC that fits SKL L2 (and only BDW LLC): 448x448 = 800 KB.
-    bench::section("(b) FC fits Skylake L2 / Broadwell LLC");
-    distributionPanel(448);
+    bench::section("invariants");
+    for (const Scenario &s : grid)
+        checkInvariants(s);
+    std::printf("  [ok] blame fractions sum to 1 +/- %g in every "
+                "scenario\n", kBlameSumTol);
+    std::printf("  [ok] every record's phases tile its latency\n");
 
-    // (c) Larger FC that fits neither L2: 1024x1024 = 4 MB (LLC on
-    // both machines).
-    bench::section("(c) larger FC (fits only the LLCs)");
-    distributionPanel(1024);
+    const Scenario &overload = grid[0];
+    RP_ASSERT(topCause(overload.tail) ==
+                  static_cast<size_t>(obs::RequestPhase::Queue),
+              "serve_overload: expected queueing to dominate the tail, "
+              "got '%s'",
+              obs::requestPhaseName(static_cast<obs::RequestPhase>(
+                  topCause(overload.tail))));
+    const Scenario &straggler = grid[2];
+    size_t straggler_top = topCause(straggler.tail);
+    RP_ASSERT(straggler_top ==
+                  static_cast<size_t>(obs::RequestPhase::ShardStraggler),
+              "shard_straggler: expected shard stragglers to dominate "
+              "the tail, got '%s'",
+              obs::requestPhaseName(
+                  static_cast<obs::RequestPhase>(straggler_top)));
+    std::printf("  [ok] queue dominates under overload; "
+                "shard_straggler dominates under stragglers "
+                "(%.0f%% of the gap)\n",
+                straggler.tail.blame[straggler_top] * 100.0);
 
-    return 0;
+    bench::JsonWriter json("fig11_tail_latency");
+    json.machine().add("machine", "broadwell");
+    json.config()
+        .add("model", "rmc1")
+        .add("seed", seed)
+        .add("quick", quick)
+        .add("serve_items", items)
+        .add("shard_iters", static_cast<int64_t>(iters));
+    for (const Scenario &s : grid) {
+        bench::JsonObject &row = json.newResult();
+        row.add("scenario", s.name)
+            .add("offered", s.offered)
+            .add("served", s.tail.served)
+            .add("p50_ms", s.tail.p50 * 1e3)
+            .add("p99_ms", s.tail.p99 * 1e3)
+            .add("gap_ms", s.tail.gap * 1e3);
+        for (size_t c = 0; c < obs::kNumRequestPhases; ++c) {
+            row.add(std::string("blame_") +
+                        obs::requestPhaseName(
+                            static_cast<obs::RequestPhase>(c)),
+                    s.tail.blame[c]);
+        }
+    }
+    return json.writeOrPrint(args.option("out")) ? 0 : 1;
 }

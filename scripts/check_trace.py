@@ -46,9 +46,21 @@ injections, and the trace's integrity instants (injected / detected /
 escape / rehydrate) must reconcile with both the log and the
 integrity.* export.
 
+With --request-log FILE (the JSONL written by `recperf serve|shard
+--request-log-out`), the per-request causal records are validated and
+reconciled: every line must be a JSON object with a known outcome,
+known phase names, unique ids, and phase durations that tile the
+record's latency within --tolerance; with a metrics JSON the record
+count must equal tail.requests.recorded - tail.requests.dropped, the
+per-outcome counts must match the exported serving.* / sharded.*
+counters, the summed retry/hedge tags must match the sharded.*
+resilience counters, and the blame fractions recomputed from the
+records must match the exported tail.blame.* gauges within 1e-6 (and
+sum to 1).
+
 Usage: check_trace.py TRACE.json [METRICS.json] [--tolerance 0.01]
                       [--ops-only] [--require-track PREFIX]...
-                      [--fault-log FILE]
+                      [--fault-log FILE] [--request-log FILE]
 Exits 0 when every check passes, 1 otherwise.
 """
 
@@ -300,6 +312,212 @@ def check_integrity_events(instants, metrics, log_corruptions):
     return sum(seen.values())
 
 
+REQUEST_PHASES = ("queue", "service", "straggler", "shard_straggler",
+                  "retry", "hedge", "warmup", "scrub", "network",
+                  "aggregate")
+REQUEST_OUTCOMES = ("served", "shed_admission",
+                    "shed_admission_deadline", "shed_deadline_queue",
+                    "cancelled", "dropped_low_priority", "failed")
+
+# (outcome, exported counter) pairs that must agree when the export
+# carries the counter. `served` and `cancelled` are handled separately
+# because their counter names differ between the serve and shard paths.
+REQUEST_OUTCOME_COUNTERS = (
+    ("shed_admission", "serving.items.shed"),
+    ("shed_admission_deadline", "serving.shed.admission_deadline"),
+    ("shed_deadline_queue", "serving.deadline.shed"),
+    ("dropped_low_priority", "serving.items.dropped_low_priority"),
+    ("failed", "sharded.inferences.failed"),
+)
+
+# (record tag, exported sharded.* counter): the per-record tags are the
+# same increments that feed the run counters, so their sums must agree.
+REQUEST_TAG_COUNTERS = (
+    ("retries", "sharded.retries"),
+    ("hedges", "sharded.hedges.issued"),
+    ("hedge_wins", "sharded.hedges.won"),
+)
+
+
+def request_percentile(samples, pct):
+    """numpy-style linear interpolation, mirroring core/stats.hh."""
+    samples = sorted(samples)
+    if len(samples) == 1:
+        return samples[0]
+    rank = pct / 100.0 * (len(samples) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    return samples[lo] + (rank - lo) * (samples[hi] - samples[lo])
+
+
+def load_request_log(path, tolerance):
+    """Parse and validate a --request-log-out JSONL; returns records.
+
+    Strict by design: a malformed or truncated log means the record
+    plane is broken, so every violation is a hard failure — empty
+    files, empty lines, non-object lines, unknown outcome or phase
+    names, duplicate ids, and phase durations that do not tile the
+    record's latency within --tolerance all fail loudly.
+    """
+    records = []
+    seen_ids = set()
+    try:
+        with open(path) as f:
+            lines = f.readlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    if not lines:
+        fail(f"{path}: empty request log")
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            fail(f"{path}:{i + 1}: empty request-log line")
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: bad JSON: {e}")
+        if not isinstance(rec, dict):
+            fail(f"{path}:{i + 1}: record is not a JSON object")
+        for key in ("id", "outcome", "arrival", "start", "finish",
+                    "latency_s", "phases"):
+            if key not in rec:
+                fail(f"{path}:{i + 1}: record missing '{key}'")
+        rid = rec["id"]
+        if not isinstance(rid, int) or rid < 0:
+            fail(f"{path}:{i + 1}: bad record id {rid!r}")
+        if rid in seen_ids:
+            fail(f"{path}:{i + 1}: duplicate record id {rid}")
+        seen_ids.add(rid)
+        if rec["outcome"] not in REQUEST_OUTCOMES:
+            fail(f"{path}:{i + 1}: unknown outcome {rec['outcome']!r}")
+        for key in ("arrival", "start", "finish", "latency_s"):
+            v = rec[key]
+            if not isinstance(v, (int, float)) or not math.isfinite(v) \
+                    or v < 0:
+                fail(f"{path}:{i + 1}: bad {key} {v!r}")
+        if not (rec["arrival"] <= rec["start"] + 1e-12
+                <= rec["finish"] + 2e-12):
+            fail(f"{path}:{i + 1}: arrival/start/finish not monotone: "
+                 f"{rec['arrival']} / {rec['start']} / {rec['finish']}")
+        phases = rec["phases"]
+        if not isinstance(phases, dict):
+            fail(f"{path}:{i + 1}: phases is not an object")
+        for name, v in phases.items():
+            if name not in REQUEST_PHASES:
+                fail(f"{path}:{i + 1}: unknown phase {name!r}")
+            if not isinstance(v, (int, float)) or not math.isfinite(v) \
+                    or v < 0:
+                fail(f"{path}:{i + 1}: bad phase duration "
+                     f"{name}={v!r}")
+        lat = rec["latency_s"]
+        tiled = sum(phases.values())
+        if abs(tiled - lat) > max(tolerance * lat, 1e-9):
+            fail(f"{path}:{i + 1}: phases sum to {tiled:.12g} but "
+                 f"latency_s is {lat:.12g} "
+                 f"(tolerance {tolerance * 100:.2f}%)")
+        records.append(rec)
+    return records
+
+
+def check_request_log(records, metrics, path):
+    """Reconcile the request log against the metrics export.
+
+    Recomputes the p99-p50 blame decomposition from the records alone
+    (the same math as obs::attributeTail) and requires the exported
+    tail.blame.* gauges to agree within 1e-6 and to sum to 1. Counter
+    cross-checks follow the usual convention: skipped per counter when
+    the export omits it (exports are nonzero-gated and the serve/shard
+    paths export disjoint counter sets).
+    """
+    outcome_counts = {}
+    for rec in records:
+        outcome_counts[rec["outcome"]] = \
+            outcome_counts.get(rec["outcome"], 0) + 1
+
+    served = [r for r in records if r["outcome"] == "served"]
+    mass = dict.fromkeys(REQUEST_PHASES, 0.0)
+    if served:
+        latencies = [r["latency_s"] for r in served]
+        p50 = request_percentile(latencies, 50.0)
+        for rec in served:
+            lat = rec["latency_s"]
+            if lat <= p50 or lat <= 0.0:
+                continue
+            weight = (lat - p50) / lat
+            for name, v in rec["phases"].items():
+                mass[name] += v * weight
+    total_mass = sum(mass.values())
+    if total_mass > 0.0:
+        blame = {name: m / total_mass for name, m in mass.items()}
+    else:
+        blame = dict.fromkeys(REQUEST_PHASES, 0.0)
+        blame["service"] = 1.0
+
+    if metrics is None:
+        return
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+
+    recorded = counters.get("tail.requests.recorded")
+    if recorded is not None:
+        dropped = counters.get("tail.requests.dropped", 0)
+        if recorded - dropped != len(records):
+            fail(f"tail.requests.recorded - dropped = "
+                 f"{recorded} - {dropped} but {path} has "
+                 f"{len(records)} records")
+
+    want_served = None
+    if "sharded.inferences.completed" in counters:
+        want_served = counters["sharded.inferences.completed"]
+    elif "serving.items.sla_met" in counters:
+        want_served = counters["serving.items.sla_met"] + \
+            counters.get("serving.items.sla_missed", 0)
+    if want_served is not None \
+            and outcome_counts.get("served", 0) != want_served:
+        fail(f"metrics export says {want_served} served but {path} "
+             f"has {outcome_counts.get('served', 0)} served records")
+    want_cancelled = counters.get(
+        "sharded.deadline.expired",
+        counters.get("serving.deadline.cancelled"))
+    if want_cancelled is not None \
+            and outcome_counts.get("cancelled", 0) != want_cancelled:
+        fail(f"metrics export says {want_cancelled} cancelled but "
+             f"{path} has {outcome_counts.get('cancelled', 0)} "
+             f"cancelled records")
+    for outcome, counter in REQUEST_OUTCOME_COUNTERS:
+        want = counters.get(counter)
+        if want is not None and outcome_counts.get(outcome, 0) != want:
+            fail(f"{counter} = {want} but {path} has "
+                 f"{outcome_counts.get(outcome, 0)} "
+                 f"'{outcome}' records")
+    for tag, counter in REQUEST_TAG_COUNTERS:
+        want = counters.get(counter)
+        if want is None:
+            continue
+        got = sum(rec.get(tag, 0) for rec in records)
+        if got != want:
+            fail(f"{counter} = {want} but the {path} records sum "
+                 f"their '{tag}' tags to {got}")
+
+    exported_blame = {name[len("tail.blame."):]: v
+                      for name, v in gauges.items()
+                      if name.startswith("tail.blame.")}
+    if exported_blame:
+        for name, v in exported_blame.items():
+            if name not in REQUEST_PHASES:
+                fail(f"exported tail.blame.{name} is not a known cause")
+            if abs(v - blame[name]) > 1e-6:
+                fail(f"tail.blame.{name} = {v:.9f} but the log "
+                     f"recomputes {blame[name]:.9f}")
+        total = sum(exported_blame.values())
+        if abs(total - 1.0) > 1e-6:
+            fail(f"exported tail.blame.* fractions sum to {total:.9f}, "
+                 f"not 1")
+    elif recorded is not None and served:
+        fail(f"metrics export has tail.requests.* but no tail.blame.* "
+             f"gauges while {path} has {len(served)} served records")
+
+
 def check_counters(counters, metrics):
     """Validate counter ('C') tracks; returns the number of tracks.
 
@@ -378,6 +596,10 @@ def main():
                     help="JSONL from --fault-log-out: cross-check "
                          "injected corruption against the integrity.* "
                          "export and trace instants")
+    ap.add_argument("--request-log", metavar="FILE",
+                    help="JSONL from --request-log-out: validate the "
+                         "causal records and reconcile outcome/blame "
+                         "accounting against the metrics export")
     args = ap.parse_args()
 
     trace = load_json(args.trace)
@@ -393,6 +615,11 @@ def main():
                        if args.fault_log else None)
     integrity = check_integrity_events(instants, metrics,
                                        log_corruptions)
+    requests = None
+    if args.request_log:
+        records = load_request_log(args.request_log, args.tolerance)
+        check_request_log(records, metrics, args.request_log)
+        requests = len(records)
     tracks = check_counters(counters, metrics)
     track_names = {name for ev in counters
                    for name in (ev["name"],)}
@@ -407,6 +634,8 @@ def main():
                   f"within {rel * 100:.3f}%")
     log_note = (f", {log_corruptions} logged corruption(s)"
                 if log_corruptions is not None else "")
+    if requests is not None:
+        log_note += f", {requests} request record(s) reconciled"
     print(f"check_trace: OK ({len(spans)} spans, {recon}, "
           f"{overload} deadline/brownout event(s), "
           f"{integrity} integrity event(s){log_note}, "

@@ -14,6 +14,9 @@
 #    defense grid
 #  - BENCH_backend.json: near-memory SLS backend vs host CPU latency
 #    across RMC1/2/3 x pooling depth x PIM rank count (virtual time)
+#  - BENCH_tail_attribution.json: p99-p50 blame decomposition derived
+#    from the per-request causal log across overload / straggler /
+#    hedged scenarios (virtual time; bit-deterministic)
 #
 # All files share the bench::JsonWriter envelope (bench_common.hh):
 #   {schema_version, bench, machine, config, results[]}
@@ -25,7 +28,8 @@ cd "$(dirname "$0")/.."
 
 cmake -B build
 cmake --build build --target micro_parallel_ops micro_kernel_tuning \
-    study_failover study_brownout study_sdc study_backend
+    study_failover study_brownout study_sdc study_backend \
+    fig11_tail_latency
 
 ./build/bench/micro_parallel_ops --out BENCH_parallel_ops.json "$@"
 echo "wrote $(pwd)/BENCH_parallel_ops.json"
@@ -44,3 +48,6 @@ echo "wrote $(pwd)/BENCH_sdc.json"
 
 ./build/bench/study_backend --out BENCH_backend.json
 echo "wrote $(pwd)/BENCH_backend.json"
+
+./build/bench/fig11_tail_latency --out BENCH_tail_attribution.json
+echo "wrote $(pwd)/BENCH_tail_attribution.json"

@@ -464,6 +464,46 @@ sloSection(const JsonValue &metrics, bool have_metrics,
     return out + "\n";
 }
 
+/**
+ * Tail attribution from the exported tail.blame.* gauges: which
+ * mechanism the p99-p50 gap blames, largest share first. Empty when
+ * the run was not request-logged (the gauges only export then), so
+ * pre-existing reports render unchanged.
+ */
+std::string
+tailSection(const JsonValue &metrics)
+{
+    const JsonValue *gauges = metrics.find("gauges");
+    if (!gauges)
+        return "";
+    const std::string prefix = "tail.blame.";
+    std::vector<std::pair<std::string, double>> blame;
+    for (const auto &[name, v] : gauges->fields) {
+        if (name.size() > prefix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0)
+            blame.emplace_back(name.substr(prefix.size()), v.asNumber());
+    }
+    if (blame.empty())
+        return "";
+    std::sort(blame.begin(), blame.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    std::string out = "Tail attribution (p99 - p50 blame, request log)\n";
+    out += strprintf(
+        "  requests %.0f, p50 %s, p99 %s, gap %s\n",
+        counterOf(metrics, "tail.requests.recorded"),
+        humanSeconds(gaugeOf(metrics, "tail.p50_seconds")).c_str(),
+        humanSeconds(gaugeOf(metrics, "tail.p99_seconds")).c_str(),
+        humanSeconds(gaugeOf(metrics, "tail.gap_seconds")).c_str());
+    for (const auto &[cause, share] : blame)
+        out += strprintf("  %-16s %5.1f%%\n", cause.c_str(),
+                         share * 100.0);
+    return out + "\n";
+}
+
 std::string
 traceSection(const JsonValue &trace)
 {
@@ -565,6 +605,8 @@ renderReport(const ReportInputs &inputs, std::string &error)
         out += rooflineSection(metrics);
     }
     out += sloSection(metrics, have_metrics, series);
+    if (have_metrics)
+        out += tailSection(metrics);
     if (have_trace)
         out += traceSection(trace);
     if (!have_metrics && !have_trace && series.empty())

@@ -6,6 +6,7 @@
 #include "core/logging.hh"
 #include "core/stats.hh"
 #include "obs/hw_counters.hh"
+#include "obs/request_log.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "sched/brownout.hh"
@@ -317,6 +318,10 @@ ShardedInference::run(const RunOptions &options)
     obs::TimeSeriesSampler &sampler = obs::TimeSeriesSampler::global();
     if (sampler.enabled())
         sampler.reset();
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    const bool rlog_on = rlog.enabled();
+    if (rlog_on)
+        rlog.reset();
 
     double now = 0.0;
     double sum_slowest = 0.0;
@@ -326,10 +331,24 @@ ShardedInference::run(const RunOptions &options)
         // inference's issue time; canary executions tax the clock.
         if (sdc)
             now += sdc->beginInference(now);
+        double issue = now;
         double slowest = 0.0;
         double elapsed_max = 0.0;
         bool ok = true;
         bool cancelled = false;
+        // Request-log accumulators: the critical (slowest-ok) shard's
+        // breakdown defines the latency phases; retry/hedge/breaker
+        // counts sum over every shard so they reconcile against the
+        // run's exported counters.
+        ShardOutcome crit;
+        int32_t crit_shard = -1;
+        double crit_base_clean = 0.0;
+        double crit_verify = 0.0;
+        double min_clean = 0.0;
+        uint64_t rl_retries = 0, rl_hedges = 0, rl_hedge_wins = 0;
+        uint64_t rl_breaker = 0;
+        bool rl_clamped = false;
+        double rl_offload = 0.0;
         // Each inference carries its own budget (anchored at issue
         // time) and cancellation token; once any shard gives up on the
         // deadline, the token stops the remaining fan-out.
@@ -343,8 +362,12 @@ ShardedInference::run(const RunOptions &options)
                 cancelled = true;
                 break;
             }
-            double base =
-                shard_timers_[s]->run().secondsByKind(OpKind::SLS);
+            ModelTiming shard_timing = shard_timers_[s]->run();
+            double base = shard_timing.secondsByKind(OpKind::SLS);
+            // The fault-free shard time, before the scrub slowdown:
+            // the request log charges the difference to the Scrub
+            // phase instead of folding it into Service.
+            double base_clean = base;
             if (sdc) {
                 // Checksum re-reads of the background scrubber steal
                 // table bandwidth from every gather.
@@ -358,11 +381,13 @@ ShardedInference::run(const RunOptions &options)
                 : resolveShard(injector, options.retry, options.hedge,
                                hedge_delay, s, base, now, ctx,
                                sdc.get(), &result);
+            double verify = 0.0;
             if (out.ok && sdc) {
                 // Model the rows this batch touched on the serving
                 // replica; inline sampled verification adds its read
                 // cost to the shard's service time.
-                out.elapsed += sdc->onShardLookup(s, out.replica, now);
+                verify = sdc->onShardLookup(s, out.replica, now);
+                out.elapsed += verify;
             }
             if (tracer.enabled()) {
                 tracer.span("shard", strprintf("sls s%u", s), now,
@@ -370,6 +395,26 @@ ShardedInference::run(const RunOptions &options)
                             {{"ok", out.ok ? "true" : "false"},
                              {"base_us",
                               strprintf("%.3f", base * 1e6)}});
+            }
+            if (rlog_on) {
+                rl_retries += out.retries;
+                rl_hedges += out.hedges;
+                rl_hedge_wins += out.hedgeWins;
+                rl_breaker += out.breakerRejects;
+                rl_clamped = rl_clamped || out.deadlineClamped;
+                for (const OpTiming &op : shard_timing.ops)
+                    rl_offload +=
+                        static_cast<double>(op.transferBytes);
+                if (out.ok) {
+                    if (crit_shard < 0 || base_clean < min_clean)
+                        min_clean = base_clean;
+                    if (crit_shard < 0 || out.elapsed > crit.elapsed) {
+                        crit = out;
+                        crit_shard = static_cast<int32_t>(s);
+                        crit_base_clean = base_clean;
+                        crit_verify = verify;
+                    }
+                }
             }
             elapsed_max = std::max(elapsed_max, out.elapsed);
             if (out.cancelled) {
@@ -381,6 +426,36 @@ ShardedInference::run(const RunOptions &options)
             else
                 ok = false;
         }
+        // Shared tag assembly for whichever record this inference
+        // emits (served, cancelled, or failed).
+        auto base_record = [&](obs::RequestOutcome outcome,
+                               double latency) {
+            obs::RequestRecord rec;
+            rec.id = static_cast<uint64_t>(i);
+            rec.arrival = issue;
+            rec.start = issue;
+            rec.finish = now;
+            rec.latency = latency;
+            rec.outcome = outcome;
+            rec.retries = static_cast<uint16_t>(
+                std::min<uint64_t>(rl_retries, UINT16_MAX));
+            rec.hedges = static_cast<uint16_t>(
+                std::min<uint64_t>(rl_hedges, UINT16_MAX));
+            rec.hedgeWins = static_cast<uint16_t>(
+                std::min<uint64_t>(rl_hedge_wins, UINT16_MAX));
+            rec.breakerRejects = static_cast<uint32_t>(
+                std::min<uint64_t>(rl_breaker, UINT32_MAX));
+            rec.deadlineClamped = rl_clamped;
+            rec.hedgeWon = crit.hedgeWon;
+            rec.criticalShard = crit_shard;
+            rec.replica = (replicated && crit_shard >= 0)
+                ? static_cast<int32_t>(crit.replica) : -1;
+            rec.healthEwma = static_cast<float>(crit.healthEwma);
+            rec.admissionEstimate = static_cast<float>(fresh_p50);
+            rec.batchItems = static_cast<uint32_t>(options_.batch);
+            rec.offloadBytes = rl_offload;
+            return rec;
+        };
         if (cancelled) {
             // Deadline-shed: the aggregator never runs, the partial
             // shard work is wasted, and virtual time advances only by
@@ -399,6 +474,17 @@ ShardedInference::run(const RunOptions &options)
             }
             now += consumed;
             sampler.observeItem(now, consumed, true);
+            if (rlog_on) {
+                obs::RequestRecord rec =
+                    base_record(obs::RequestOutcome::Cancelled,
+                                consumed);
+                rec.slaViolated = true;
+                // The abandoned fan-out's time is all spent waiting on
+                // shards; blame it on the retry lane.
+                rec.phase[static_cast<size_t>(
+                    obs::RequestPhase::Retry)] = consumed;
+                rlog.record(rec);
+            }
             if (telem.enabled())
                 telem.emitCounters(tracer, now, 0);
             sampler.tick(now);
@@ -411,12 +497,14 @@ ShardedInference::run(const RunOptions &options)
 
         if (ok) {
             double total = slowest + network + agg_seconds;
+            double guard_extra = 0.0;
             if (sdc) {
                 // The aggregation boundary: output guards and canary
                 // bookkeeping decide whether this response escapes
                 // corrupted, serves degraded, or pays guard time.
                 SdcController::Boundary boundary =
                     sdc->endInference(now + total);
+                guard_extra = boundary.extraSeconds;
                 total += boundary.extraSeconds;
             }
             if (tracer.enabled()) {
@@ -431,6 +519,34 @@ ShardedInference::run(const RunOptions &options)
             sum_agg += agg_seconds;
             now += total;
             sampler.observeItem(now, total, false);
+            if (rlog_on) {
+                obs::RequestRecord rec =
+                    base_record(obs::RequestOutcome::Served, total);
+                // Decompose the critical shard's elapsed time:
+                //  - Service: the fault-free minimum shard time (the
+                //    floor every fan-out pays);
+                //  - ShardStraggler: everything the slowest shard adds
+                //    beyond that floor (imbalance + chaos slowdown);
+                //  - Scrub: scrubber slowdown + inline verification +
+                //    the aggregation boundary's guard time;
+                //  - Retry/Hedge/Warmup: the critical shard's waits.
+                auto ph = [&rec](obs::RequestPhase p) -> double & {
+                    return rec.phase[static_cast<size_t>(p)];
+                };
+                ph(obs::RequestPhase::Service) = min_clean;
+                ph(obs::RequestPhase::ShardStraggler) =
+                    (crit_base_clean - min_clean) +
+                    crit.stragglerSeconds;
+                ph(obs::RequestPhase::Retry) = crit.retryWaitSeconds;
+                ph(obs::RequestPhase::Hedge) = crit.hedgeWaitSeconds;
+                ph(obs::RequestPhase::Warmup) = crit.warmupSeconds;
+                ph(obs::RequestPhase::Scrub) =
+                    (crit.serviceSeconds - crit_base_clean) +
+                    crit_verify + guard_extra;
+                ph(obs::RequestPhase::Network) = network;
+                ph(obs::RequestPhase::Aggregate) = agg_seconds;
+                rlog.record(rec);
+            }
         } else {
             // The aggregator abandons the inference once the slowest
             // shard exhausts its retries; no result is produced.
@@ -444,6 +560,19 @@ ShardedInference::run(const RunOptions &options)
             }
             now += elapsed_max + network;
             sampler.observeItem(now, elapsed_max + network, true);
+            if (rlog_on) {
+                obs::RequestRecord rec =
+                    base_record(obs::RequestOutcome::Failed,
+                                elapsed_max + network);
+                rec.slaViolated = true;
+                // Retries were exhausted: the whole shard wait is the
+                // retry lane's fault; the network hop still happened.
+                rec.phase[static_cast<size_t>(
+                    obs::RequestPhase::Retry)] = elapsed_max;
+                rec.phase[static_cast<size_t>(
+                    obs::RequestPhase::Network)] = network;
+                rlog.record(rec);
+            }
         }
         // `now` only moves forward, so the counter tracks carry
         // monotone virtual timestamps.
@@ -520,11 +649,22 @@ ShardedInference::resolveShard(FaultInjector &injector,
     const Deadline &dl = ctx.deadline;
     double waited = 0.0;
     int max_attempts = retry.maxRetries + 1;
+    // Request-log breakdown carried across attempts; every return
+    // site stamps it onto the outcome without touching the elapsed
+    // arithmetic.
+    ShardOutcome out;
+    auto abandoned = [&](bool was_cancelled) {
+        out.elapsed = waited;
+        out.ok = false;
+        out.cancelled = was_cancelled;
+        out.retryWaitSeconds = waited;
+        return out;
+    };
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         double t_start = now + waited;
         if (ctx.cancelled() || dl.expired(t_start)) {
             ctx.cancel();
-            return {waited, false, true};
+            return abandoned(true);
         }
         double remaining = dl.remaining(t_start);
         if (dl.enabled() && remaining < ctx.freshP50) {
@@ -532,11 +672,15 @@ ShardedInference::resolveShard(FaultInjector &injector,
             // in what is left of the budget, so don't issue one.
             ++result->deadlineFastFails;
             ctx.cancel();
-            return {waited, false, true};
+            return abandoned(true);
         }
         // Every attempt's effective timeout is the policy timeout
         // clamped to the remaining budget (+inf when neither bounds).
         double timeout = dl.clampTimeout(retry.timeoutSeconds, t_start);
+        if (dl.enabled() &&
+            (retry.timeoutSeconds <= 0.0 ||
+             timeout < retry.timeoutSeconds))
+            out.deadlineClamped = true;
         bool hedge_fits = hedge.enabled && hedge_delay < remaining;
         // A replica mid-rehydrate is out of rotation: the single-copy
         // path sees it exactly like a transient down window.
@@ -553,21 +697,34 @@ ShardedInference::resolveShard(FaultInjector &injector,
                 ++result->hedgeWins;
                 result->hedgeExtraSeconds += hedged;
                 result->hedgeExtraBytes += shardNetworkBytes(shard);
-                return {waited + hedge_delay + hedged, true};
+                out.elapsed = waited + hedge_delay + hedged;
+                out.ok = true;
+                out.retryWaitSeconds = waited;
+                out.hedgeWaitSeconds = hedge_delay;
+                out.serviceSeconds = base_seconds;
+                out.stragglerSeconds = hedged - base_seconds;
+                ++out.hedges;
+                ++out.hedgeWins;
+                out.hedgeWon = true;
+                return out;
             }
             result->wastedSeconds += retry.failFastSeconds;
             waited += retry.failFastSeconds;
         } else {
             double service = base_seconds *
                 injector.serviceMultiplier(t_start);
+            bool hedge_won = false;
             if (hedge_fits && service > hedge_delay) {
                 double hedged = hedge_delay + base_seconds *
                     injector.serviceMultiplier(t_start + hedge_delay);
                 ++result->hedgesIssued;
                 result->hedgeExtraSeconds += hedged - hedge_delay;
                 result->hedgeExtraBytes += shardNetworkBytes(shard);
+                ++out.hedges;
                 if (hedged < service) {
                     ++result->hedgeWins;
+                    ++out.hedgeWins;
+                    hedge_won = true;
                     service = hedged;
                 }
             }
@@ -576,15 +733,28 @@ ShardedInference::resolveShard(FaultInjector &injector,
                 result->wastedSeconds += timeout;
                 waited += timeout;
             } else {
-                return {waited + service, true};
+                out.elapsed = waited + service;
+                out.ok = true;
+                out.retryWaitSeconds = waited;
+                out.serviceSeconds = base_seconds;
+                if (hedge_won) {
+                    out.hedgeWaitSeconds = hedge_delay;
+                    out.stragglerSeconds =
+                        service - hedge_delay - base_seconds;
+                    out.hedgeWon = true;
+                } else {
+                    out.stragglerSeconds = service - base_seconds;
+                }
+                return out;
             }
         }
         if (attempt + 1 < max_attempts) {
             ++result->retries;
+            ++out.retries;
             waited += retry.backoffBefore(attempt);
         }
     }
-    return {waited, false};
+    return abandoned(false);
 }
 
 ShardedInference::ShardOutcome
@@ -621,19 +791,34 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
     double waited = 0.0;
     int prev_error_replica = -1;
     int max_attempts = retry.maxRetries + 1;
+    // Request-log breakdown carried across attempts; every return
+    // site stamps it onto the outcome without touching the elapsed
+    // arithmetic.
+    ShardOutcome out;
+    auto abandoned = [&](bool was_cancelled) {
+        out.elapsed = waited;
+        out.ok = false;
+        out.cancelled = was_cancelled;
+        out.retryWaitSeconds = waited;
+        return out;
+    };
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         double t_start = now + waited;
         if (ctx.cancelled() || dl.expired(t_start)) {
             ctx.cancel();
-            return {waited, false, true};
+            return abandoned(true);
         }
         double remaining = dl.remaining(t_start);
         if (dl.enabled() && remaining < ctx.freshP50) {
             ++result->deadlineFastFails;
             ctx.cancel();
-            return {waited, false, true};
+            return abandoned(true);
         }
         double timeout = dl.clampTimeout(retry.timeoutSeconds, t_start);
+        if (dl.enabled() &&
+            (retry.timeoutSeconds <= 0.0 ||
+             timeout < retry.timeoutSeconds))
+            out.deadlineClamped = true;
         bool hedge_fits = hedge.enabled && hedge_delay < remaining;
         ReplicaSet::Pick pick = set.route(t_start);
         if (dl.enabled() && pick.replica >= 0) {
@@ -655,7 +840,7 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                 ++result->replicaSkips;
                 if (!alternate_fits) {
                     ctx.cancel();
-                    return {waited, false, true};
+                    return abandoned(true);
                 }
                 std::swap(pick.replica, pick.alternate);
             }
@@ -665,6 +850,7 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
             // detection latency and let the backoff ride until a
             // breaker half-opens.
             ++result->breakerRejects;
+            ++out.breakerRejects;
             result->wastedSeconds += retry.failFastSeconds;
             waited += retry.failFastSeconds;
         } else {
@@ -691,8 +877,21 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         result->warmupPenaltySeconds +=
                             hedged - hedged / warm;
                         set.recordSuccess(alt, hedged, t_hedge);
-                        return {waited + hedge_delay + hedged, true,
-                                false, alt};
+                        out.elapsed = waited + hedge_delay + hedged;
+                        out.ok = true;
+                        out.replica = alt;
+                        out.retryWaitSeconds = waited;
+                        out.hedgeWaitSeconds = hedge_delay;
+                        out.serviceSeconds = base_seconds;
+                        out.warmupSeconds = hedged - hedged / warm;
+                        out.stragglerSeconds =
+                            hedged / warm - base_seconds;
+                        ++out.hedges;
+                        ++out.hedgeWins;
+                        out.hedgeWon = true;
+                        out.healthEwma =
+                            set.health(alt).ewmaSeconds();
+                        return out;
                     }
                     ++result->shardDownEncounters;
                     set.recordError(alt, t_hedge);
@@ -705,6 +904,8 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                     base_seconds * multiplier(t_start) * warm;
                 double primary_service = service;
                 uint32_t winner = primary;
+                double win_warm = warm;
+                double win_body = service;
                 if (hedge_fits && service > hedge_delay &&
                     pick.alternate >= 0) {
                     auto alt = static_cast<uint32_t>(pick.alternate);
@@ -719,13 +920,17 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         result->hedgeExtraSeconds += alt_service;
                         result->hedgeExtraBytes +=
                             shardNetworkBytes(shard);
+                        ++out.hedges;
                         set.recordSuccess(alt, alt_service, t_hedge);
                         if (hedged < service) {
                             ++result->hedgeWins;
+                            ++out.hedgeWins;
                             result->warmupPenaltySeconds +=
                                 alt_service - alt_service / warm_alt;
                             winner = alt;
                             service = hedged;
+                            win_warm = warm_alt;
+                            win_body = alt_service;
                         }
                     } else {
                         ++result->shardDownEncounters;
@@ -750,16 +955,34 @@ ShardedInference::resolveReplicated(FaultInjector &injector,
                         winner !=
                             static_cast<uint32_t>(prev_error_replica))
                         ++result->failovers;
-                    return {waited + service, true, false, winner};
+                    out.elapsed = waited + service;
+                    out.ok = true;
+                    out.replica = winner;
+                    out.retryWaitSeconds = waited;
+                    out.serviceSeconds = base_seconds;
+                    // win_body = base * mult * warm of the winning
+                    // attempt; peel warm-up off the top, then the
+                    // fault excess, leaving the clean base.
+                    out.warmupSeconds = win_body - win_body / win_warm;
+                    out.stragglerSeconds =
+                        win_body / win_warm - base_seconds;
+                    if (winner != primary) {
+                        out.hedgeWaitSeconds = hedge_delay;
+                        out.hedgeWon = true;
+                    }
+                    out.healthEwma =
+                        set.health(winner).ewmaSeconds();
+                    return out;
                 }
             }
         }
         if (attempt + 1 < max_attempts) {
             ++result->retries;
+            ++out.retries;
             waited += retry.backoffBefore(attempt);
         }
     }
-    return {waited, false};
+    return abandoned(false);
 }
 
 } // namespace recperf

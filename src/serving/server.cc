@@ -6,6 +6,7 @@
 
 #include "core/logging.hh"
 #include "obs/hw_counters.hh"
+#include "obs/request_log.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "resilience/deadline.hh"
@@ -315,7 +316,8 @@ Server::healthyFraction() const
 
 double
 Server::serviceBatch(size_t worker, int64_t batch, double now,
-                     double *fc_seconds, BrownoutLevel level)
+                     double *fc_seconds, BrownoutLevel level,
+                     double *fault_mult)
 {
     // Brownout levels shrink the modeled work. L1+ scores only a
     // fraction of the candidate set (smaller effective batch — every
@@ -351,8 +353,16 @@ Server::serviceBatch(size_t worker, int64_t batch, double now,
     }
     double jitter = std::exp(jitter_rng_.nextGaussian() *
                              options_.jitterSigma);
-    if (injector_)
-        jitter *= injector_->serviceMultiplier(now);
+    // The lognormal jitter is benign environment noise; the injected
+    // fault multiplier is the straggler cause, reported separately so
+    // the request log can split clean service from straggler excess.
+    double fault = 1.0;
+    if (injector_) {
+        fault = injector_->serviceMultiplier(now);
+        jitter *= fault;
+    }
+    if (fault_mult)
+        *fault_mult = fault;
     if (fc_seconds)
         *fc_seconds = timing.secondsByKind(OpKind::FC) * jitter;
     // Per-op child spans tile the enclosing batch span exactly because
@@ -409,6 +419,10 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
     obs::TimeSeriesSampler &sampler = obs::TimeSeriesSampler::global();
     if (sampler.enabled())
         sampler.reset();
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    const bool rlog_on = rlog.enabled();
+    if (rlog_on)
+        rlog.reset();
 
     std::priority_queue<WorkerSlot, std::vector<WorkerSlot>,
                         std::greater<>> free_at;
@@ -455,6 +469,28 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
     auto observe_outcome = [&](double t, double latency, bool violated) {
         sampler.observeItem(t, latency, violated);
         brown_sensor.observeItem(t, latency, violated);
+    };
+    // One causal record per item that never reached a worker: all of
+    // its life was queue wait, so the phase vector is pure Queue and
+    // tiles the latency trivially.
+    auto shed_record = [&rlog](uint64_t id, double arrival, double at,
+                               obs::RequestOutcome outcome,
+                               bool violated, double estimate,
+                               BrownoutLevel lvl, bool was_degraded) {
+        obs::RequestRecord rec;
+        rec.id = id;
+        rec.arrival = arrival;
+        rec.start = at;
+        rec.finish = at;
+        rec.latency = at - arrival;
+        rec.outcome = outcome;
+        rec.slaViolated = violated;
+        rec.brownoutLevel = static_cast<uint8_t>(lvl);
+        rec.degraded = was_degraded;
+        rec.admissionEstimate = static_cast<float>(estimate);
+        rec.phase[static_cast<size_t>(obs::RequestPhase::Queue)] =
+            rec.latency;
+        rlog.record(rec);
     };
 
     ServingStats stats;
@@ -521,6 +557,7 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
         // An item arriving exactly at `start` has zero wait, so the
         // loop always consumes at least one item and terminates.
         std::vector<double> batch_arrivals;
+        std::vector<uint64_t> batch_ids;
         while (next < backlog_end &&
                static_cast<int64_t>(batch_arrivals.size()) < batch_cap) {
             double wait = start - arrivals[next];
@@ -534,6 +571,12 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                         tracer.instant("deadline", "expired_queue",
                                        start, 0);
                     }
+                    if (rlog_on) {
+                        shed_record(
+                            next, arrivals[next], start,
+                            obs::RequestOutcome::ShedDeadlineQueue,
+                            true, service_estimate, level, degraded);
+                    }
                     observe_outcome(start, wait, true);
                     ++next;
                     continue;
@@ -546,6 +589,12 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                         tracer.instant("deadline", "shed_admission",
                                        start, 0);
                     }
+                    if (rlog_on) {
+                        shed_record(
+                            next, arrivals[next], start,
+                            obs::RequestOutcome::ShedAdmissionDeadline,
+                            true, service_estimate, level, degraded);
+                    }
                     observe_outcome(start, wait, true);
                     ++next;
                     continue;
@@ -555,6 +604,12 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                 ++stats.shedItems;
                 if (tracer.enabled())
                     tracer.instant("serve", "shed", start, 0);
+                if (rlog_on) {
+                    shed_record(next, arrivals[next], start,
+                                obs::RequestOutcome::ShedAdmission,
+                                false, service_estimate, level,
+                                degraded);
+                }
                 ++next;
                 continue;
             }
@@ -562,10 +617,17 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                 ++stats.droppedLowPriority;
                 if (tracer.enabled())
                     tracer.instant("serve", "drop_low_priority", start, 0);
+                if (rlog_on) {
+                    shed_record(next, arrivals[next], start,
+                                obs::RequestOutcome::DroppedLowPriority,
+                                false, service_estimate, level,
+                                degraded);
+                }
                 ++next;
                 continue;
             }
             batch_arrivals.push_back(arrivals[next]);
+            batch_ids.push_back(next);
             ++next;
         }
         if (batch_arrivals.empty()) {
@@ -578,9 +640,10 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
             ++stats.degradedBatches;
 
         double fc = 0.0;
+        double fault_mult = 1.0;
         double service = serviceBatch(
             w, static_cast<int64_t>(batch_arrivals.size()), start, &fc,
-            level);
+            level, &fault_mult);
         double finish = start + service;
         stats.serviceTime.add(service);
         stats.fcTime.add(fc);
@@ -621,7 +684,40 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
             telem.emitCounters(tracer, start, 0);
         sampler.tick(start);
 
-        for (double arrival : batch_arrivals) {
+        // Served-item phase decomposition: the span on the worker is
+        // the batch service time; dividing out the injected fault
+        // multiplier splits it into clean service and straggler
+        // excess, and the rest of the latency is queue wait.
+        double service_clean = service / fault_mult;
+        double service_straggler = service - service_clean;
+        auto served_record = [&](uint64_t id, double arrival,
+                                 double latency,
+                                 obs::RequestOutcome outcome,
+                                 bool violated) {
+            obs::RequestRecord rec;
+            rec.id = id;
+            rec.arrival = arrival;
+            rec.start = start;
+            rec.finish = finish;
+            rec.latency = latency;
+            rec.outcome = outcome;
+            rec.slaViolated = violated;
+            rec.brownoutLevel = static_cast<uint8_t>(level);
+            rec.degraded = degraded;
+            rec.batchItems =
+                static_cast<uint32_t>(batch_arrivals.size());
+            rec.admissionEstimate =
+                static_cast<float>(service_estimate);
+            rec.phase[static_cast<size_t>(
+                obs::RequestPhase::Queue)] = start - arrival;
+            rec.phase[static_cast<size_t>(
+                obs::RequestPhase::Service)] = service_clean;
+            rec.phase[static_cast<size_t>(
+                obs::RequestPhase::Straggler)] = service_straggler;
+            rlog.record(rec);
+        };
+        for (size_t i = 0; i < batch_arrivals.size(); ++i) {
+            double arrival = batch_arrivals[i];
             double latency = finish - arrival;
             if (deadline_on && latency > deadline_budget) {
                 // The cancellation token fired mid-batch for this
@@ -631,6 +727,11 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                 if (tracer.enabled()) {
                     tracer.instant("deadline", "cancelled", finish,
                                    static_cast<uint32_t>(1 + w));
+                }
+                if (rlog_on) {
+                    served_record(batch_ids[i], arrival, latency,
+                                  obs::RequestOutcome::Cancelled,
+                                  true);
                 }
                 observe_outcome(finish, latency, true);
                 continue;
@@ -647,6 +748,10 @@ Server::runOpenLoop(double items_per_second, uint64_t num_items)
                 ++stats.brownoutItems[static_cast<int>(level)];
                 stats.qualitySum +=
                     options_.brownout.qualityScore(level);
+            }
+            if (rlog_on) {
+                served_record(batch_ids[i], arrival, latency,
+                              obs::RequestOutcome::Served, violated);
             }
             observe_outcome(finish, latency, violated);
         }

@@ -224,7 +224,8 @@ class Server
   private:
     double serviceBatch(size_t worker, int64_t batch, double now,
                         double *fc_seconds,
-                        BrownoutLevel level = BrownoutLevel::Full);
+                        BrownoutLevel level = BrownoutLevel::Full,
+                        double *fault_mult = nullptr);
 
     /** healthy/total replica fraction in (0, 1]; 1 when fully healthy. */
     double healthyFraction() const;

@@ -17,6 +17,8 @@
 #include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "obs/request_log.hh"
+#include "serving/server.hh"
 #include "timing/model_timer.hh"
 
 namespace recperf {
@@ -165,6 +167,60 @@ TEST(Report, RendersOperatorCacheAndRooflineSectionsFromMetrics)
     EXPECT_NE(report.find("MPKI"), std::string::npos);
     EXPECT_NE(report.find("Roofline"), std::string::npos);
     EXPECT_NE(report.find("GFLOP/s"), std::string::npos);
+}
+
+// --- tail attribution ---------------------------------------------------
+
+TEST(Report, TailAttributionSectionPinsBlameOrderingUnderOverload)
+{
+    // Seeded overload serve: the queue is the tail's cause, so the
+    // blame table must exist and lead with `queue`. The ordering is
+    // pinned — a change to the blame math or the section's sort shows
+    // up here before it confuses a reader.
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    rlog.configure(obs::RequestLogOptions{});
+    rlog.setEnabled(true);
+    ServerOptions sopts;
+    sopts.numWorkers = 2;
+    sopts.maxBatch = 16;
+    sopts.slaSeconds = 1.5e-3;
+    sopts.seed = 7;
+    TimerOptions topts;
+    topts.batch = sopts.maxBatch;
+    Server server(broadwell(), rmc1Small(), topts, sopts);
+    server.runOpenLoop(300000.0, 2500);
+    rlog.setEnabled(false);
+
+    static obs::MetricsRegistry reg;
+    reg.reset();
+    rlog.exportTo(reg);
+
+    obs::ReportInputs inputs;
+    inputs.metricsJson = reg.snapshot().toJson();
+    std::string err;
+    std::string report = renderReport(inputs, err);
+    ASSERT_FALSE(report.empty()) << err;
+    size_t section = report.find("Tail attribution");
+    ASSERT_NE(section, std::string::npos) << report;
+    size_t queue = report.find("queue", section);
+    size_t service = report.find("service", section);
+    ASSERT_NE(queue, std::string::npos) << report;
+    ASSERT_NE(service, std::string::npos) << report;
+    EXPECT_LT(queue, service)
+        << "queueing must out-blame service under overload:\n"
+        << report;
+}
+
+TEST(Report, NoTailSectionWithoutRequestLogGauges)
+{
+    obs::MetricsSnapshot snap = timedSnapshot(rmc2Small(), nullptr,
+                                              nullptr);
+    obs::ReportInputs inputs;
+    inputs.metricsJson = snap.toJson();
+    std::string err;
+    std::string report = renderReport(inputs, err);
+    ASSERT_FALSE(report.empty()) << err;
+    EXPECT_EQ(report.find("Tail attribution"), std::string::npos);
 }
 
 } // namespace

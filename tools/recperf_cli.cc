@@ -64,6 +64,7 @@
 #include "obs/hw_counters.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
+#include "obs/request_log.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "machine/machine_spec.hh"
@@ -338,6 +339,15 @@ validateServingArgs(ArgParser &args, const std::string &command)
                          "enables shard failures (got %g)",
                          args.optionDouble("mttr-ms"));
     }
+    err = obs::validateRequestLogArgs(
+        static_cast<int>(args.optionInt("request-log-k")),
+        args.optionDouble("request-log-window-ms") / 1e3,
+        !args.option("request-log-out").empty() ||
+            !args.option("exemplars-out").empty(),
+        args.explicitlySet("request-log-k"),
+        args.explicitlySet("request-log-window-ms"));
+    if (!err.empty())
+        return err;
 
     if (command == "serve") {
         if (args.optionDouble("rate") <= 0.0)
@@ -514,6 +524,16 @@ obsBegin(ArgParser &args)
         obs::TimeSeriesSampler::global().configure(topts);
         obs::TimeSeriesSampler::global().setEnabled(true);
     }
+    if (!args.option("request-log-out").empty() ||
+        !args.option("exemplars-out").empty()) {
+        obs::RequestLogOptions ropts;
+        ropts.slowestK =
+            static_cast<int>(args.optionInt("request-log-k"));
+        ropts.windowSeconds =
+            args.optionDouble("request-log-window-ms") / 1e3;
+        obs::RequestLogger::global().configure(ropts);
+        obs::RequestLogger::global().setEnabled(true);
+    }
 }
 
 void
@@ -539,8 +559,25 @@ obsEnd(ArgParser &args)
                         ts_path.c_str(), sampler.size());
         }
     }
+    obs::RequestLogger &rlog = obs::RequestLogger::global();
+    if (rlog.enabled()) {
+        // Export before the metrics snapshot so the tail.blame.*
+        // gauges land in --metrics-out; a run without logging never
+        // calls exportTo, keeping its metric set byte-identical.
+        rlog.exportTo(obs::MetricsRegistry::global());
+        const std::string &rl_path = args.option("request-log-out");
+        if (!rl_path.empty() && rlog.writeFile(rl_path)) {
+            std::printf("  request log:   wrote %s (%zu records)\n",
+                        rl_path.c_str(), rlog.size());
+        }
+        const std::string &ex_path = args.option("exemplars-out");
+        if (!ex_path.empty() && rlog.writeExemplars(ex_path)) {
+            std::printf("  exemplars:     wrote %s\n", ex_path.c_str());
+        }
+    }
     telem.setEnabled(false);
     sampler.setEnabled(false);
+    rlog.setEnabled(false);
 
     obs::Tracer &tracer = obs::Tracer::global();
     const std::string &trace_path = args.option("trace-out");
@@ -1042,6 +1079,46 @@ cmdReport(ArgParser &args)
 }
 
 int
+cmdExplain(ArgParser &args)
+{
+    obs::ExplainInputs inputs;
+    std::string err;
+    const std::string &log_path = args.option("request-log");
+    if (log_path.empty()) {
+        std::fprintf(stderr,
+                     "error: explain needs --request-log FILE (a "
+                     "serve/shard --request-log-out artifact); join a "
+                     "--metrics export to cross-check the blame "
+                     "gauges\n");
+        return 2;
+    }
+    if (!readFile(log_path, &inputs.requestLogJsonl, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    const std::string &metrics_path = args.option("metrics");
+    if (!metrics_path.empty() &&
+        !readFile(metrics_path, &inputs.metricsJson, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    if (args.optionInt("top") < 1) {
+        std::fprintf(stderr,
+                     "error: --top must be >= 1 (got %lld)\n",
+                     static_cast<long long>(args.optionInt("top")));
+        return 2;
+    }
+    inputs.top = static_cast<int>(args.optionInt("top"));
+    std::string view = obs::renderExplain(inputs, err);
+    if (view.empty()) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+    }
+    std::fputs(view.c_str(), stdout);
+    return 0;
+}
+
+int
 cmdZoo()
 {
     std::printf("model zoo:\n");
@@ -1212,12 +1289,28 @@ main(int argc, char **argv)
     args.addOption("timeseries-interval-ms", "10",
                    "virtual-time sampling cadence for "
                    "--timeseries-out");
+    args.addOption("request-log-out", "",
+                   "write one causal JSON record per request as JSONL "
+                   "(serve|shard)");
+    args.addOption("exemplars-out", "",
+                   "write the slowest-k + per-decile exemplar records "
+                   "as JSONL (serve|shard)");
+    args.addOption("request-log-k", "4",
+                   "slowest-k exemplar reservoir size "
+                   "(--request-log-out)");
+    args.addOption("request-log-window-ms", "0",
+                   "slowest-k trailing window in virtual ms (0 = whole "
+                   "run)");
     args.addOption("metrics", "",
-                   "metrics JSON artifact to render (report)");
+                   "metrics JSON artifact to render (report|explain)");
     args.addOption("trace", "",
                    "trace JSON artifact to render (report)");
     args.addOption("timeseries", "",
                    "timeseries JSONL artifact to render (report)");
+    args.addOption("request-log", "",
+                   "request-log JSONL artifact to attribute (explain)");
+    args.addOption("top", "4",
+                   "slowest exemplar timelines to render (explain)");
     args.addFlag("admission", "shed items whose wait blows the SLA");
     args.addOption("admit-wait", "0.5", "sheddable wait as SLA fraction");
     args.addOption("degrade-batch", "0",
@@ -1253,7 +1346,7 @@ main(int argc, char **argv)
     }
     if (command == "help" || args.flag("help")) {
         std::printf("usage: recperf <time|colocate|serve|shard|trace|"
-                    "eval|report|zoo> [options]\n\n%s",
+                    "eval|report|explain|zoo> [options]\n\n%s",
                     args.helpText().c_str());
         return 0;
     }
@@ -1352,6 +1445,21 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "error: %s\n", invalid.c_str());
                 return 2;
             }
+        } else {
+            // The request log records the serving lanes only; on any
+            // other command the knobs would silently do nothing.
+            static const char *const kRlogKnobs[] = {
+                "request-log-out", "exemplars-out", "request-log-k",
+                "request-log-window-ms"};
+            for (const char *knob : kRlogKnobs) {
+                if (args.explicitlySet(knob)) {
+                    std::fprintf(stderr,
+                                 "error: --%s applies to serve and "
+                                 "shard only (the request log records "
+                                 "the serving lanes)\n", knob);
+                    return 2;
+                }
+            }
         }
         if (command == "time")
             return cmdTime(args);
@@ -1367,6 +1475,8 @@ main(int argc, char **argv)
             return cmdEval(args);
         if (command == "report")
             return cmdReport(args);
+        if (command == "explain")
+            return cmdExplain(args);
         if (command == "zoo")
             return cmdZoo();
     } catch (const FatalError &e) {
